@@ -1,0 +1,66 @@
+// Command crexp regenerates the paper-reproduction experiments (Figures 1-5
+// and the empirical validations E1-E8 listed in DESIGN.md) and prints their
+// tables. The recorded results in EXPERIMENTS.md were produced by this tool.
+//
+// Usage:
+//
+//	crexp [-quick] [-csv] [-seed N] [id ...]
+//
+// Without arguments every experiment runs in order; otherwise only the named
+// experiments (e.g. "crexp F3 E5") run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crsharing/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size experiments (seconds instead of minutes)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	seed := flag.Int64("seed", 20140623, "seed for the randomised experiments")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: crexp [-quick] [-csv] [-seed N] [id ...]\n\navailable experiments:\n")
+		for _, e := range experiments.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-3s %s\n", e.ID, e.Title)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+
+	var toRun []experiments.Experiment
+	if flag.NArg() == 0 {
+		toRun = experiments.All()
+	} else {
+		for _, id := range flag.Args() {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+
+	for i, e := range toRun {
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# [%s] %s\n", res.ID, res.Title)
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Print(res.Table())
+		}
+		if i != len(toRun)-1 {
+			fmt.Println()
+		}
+	}
+}

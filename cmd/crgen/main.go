@@ -1,0 +1,94 @@
+// Command crgen emits CRSharing problem instances as JSON: either one of the
+// paper's constructions (figure1, figure2, figure3, greedy-worst-case,
+// partition-gadget) or a seeded random family.
+//
+// Usage examples:
+//
+//	crgen -kind figure3 -n 100
+//	crgen -kind greedy-worst-case -m 3 -blocks 4 -eps 0.01
+//	crgen -kind random -m 4 -jobs 8 -lo 0.1 -hi 0.9 -seed 7
+//	crgen -kind partition-gadget -elems 3,1,2,2 -eps 0.05
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"crsharing/internal/core"
+	"crsharing/internal/gen"
+)
+
+func main() {
+	kind := flag.String("kind", "random", "instance family: figure1|figure2|figure3|greedy-worst-case|partition-gadget|random|random-sized|bimodal")
+	n := flag.Int("n", 100, "size parameter for figure3")
+	m := flag.Int("m", 3, "number of processors")
+	jobs := flag.Int("jobs", 6, "jobs per processor for random families")
+	blocks := flag.Int("blocks", 4, "blocks for the greedy worst case")
+	eps := flag.Float64("eps", 0.01, "epsilon for the adversarial constructions")
+	lo := flag.Float64("lo", 0.05, "minimum requirement for random families")
+	hi := flag.Float64("hi", 1.0, "maximum requirement for random families")
+	maxSize := flag.Float64("max-size", 4, "maximum job size for random-sized")
+	heavy := flag.Float64("heavy", 0.4, "heavy-job probability for bimodal")
+	elems := flag.String("elems", "3,1,2,2", "comma-separated Partition elements for partition-gadget")
+	seed := flag.Int64("seed", 1, "seed for random families")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	inst, err := build(*kind, *n, *m, *jobs, *blocks, *eps, *lo, *hi, *maxSize, *heavy, *elems, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	data, err := json.MarshalIndent(inst, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func build(kind string, n, m, jobs, blocks int, eps, lo, hi, maxSize, heavy float64, elems string, seed int64) (*core.Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "figure1":
+		return gen.Figure1(), nil
+	case "figure2":
+		return gen.Figure2(), nil
+	case "figure3":
+		return gen.Figure3(n), nil
+	case "greedy-worst-case":
+		return gen.GreedyWorstCase(m, blocks, eps), nil
+	case "partition-gadget":
+		parts := strings.Split(elems, ",")
+		values := make([]int64, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("crgen: bad element %q: %v", p, err)
+			}
+			values = append(values, v)
+		}
+		return gen.PartitionGadget(values, eps)
+	case "random":
+		return gen.Random(rng, m, jobs, lo, hi), nil
+	case "random-sized":
+		return gen.RandomSized(rng, m, jobs, lo, hi, maxSize), nil
+	case "bimodal":
+		return gen.RandomBimodal(rng, m, jobs, heavy), nil
+	default:
+		return nil, fmt.Errorf("crgen: unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,138 @@
+// Command crsched solves a CRSharing instance with a chosen algorithm and
+// reports the schedule, its makespan, the lower bounds, the structural
+// properties of Section 4 and, on request, the scheduling hypergraph of
+// Section 3.2.
+//
+// Usage examples:
+//
+//	crgen -kind figure3 -n 20 | crsched -algo greedy-balance
+//	crsched -algo opt-res-assignment -in instance.json -schedule
+//	crsched -algo opt-res-assignment-2 -in gadget.json -graph
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"crsharing/internal/algo"
+	"crsharing/internal/algo/branchbound"
+	"crsharing/internal/algo/chunked"
+	"crsharing/internal/algo/greedybalance"
+	"crsharing/internal/algo/optres2"
+	"crsharing/internal/algo/optresm"
+	"crsharing/internal/algo/roundrobin"
+	"crsharing/internal/core"
+	"crsharing/internal/hypergraph"
+	"crsharing/internal/render"
+)
+
+func registry() *algo.Registry {
+	r := algo.NewRegistry()
+	r.Register(func() algo.Scheduler { return roundrobin.New() })
+	r.Register(func() algo.Scheduler { return greedybalance.New() })
+	r.Register(func() algo.Scheduler { return greedybalance.NewWithTie(greedybalance.SmallerRemaining) })
+	r.Register(func() algo.Scheduler { return greedybalance.NewUnbalanced(greedybalance.LargerRemaining) })
+	r.Register(func() algo.Scheduler { return optres2.New() })
+	r.Register(func() algo.Scheduler { return optres2.NewPQ() })
+	r.Register(func() algo.Scheduler { return optresm.New() })
+	r.Register(func() algo.Scheduler { return branchbound.New() })
+	r.Register(func() algo.Scheduler { return chunked.New(2) })
+	r.Register(func() algo.Scheduler { return chunked.New(3) })
+	return r
+}
+
+func main() {
+	reg := registry()
+	algoName := flag.String("algo", "greedy-balance", "scheduler to run (see -list)")
+	in := flag.String("in", "", "instance JSON file (default: stdin)")
+	list := flag.Bool("list", false, "list available schedulers and exit")
+	showSchedule := flag.Bool("schedule", false, "print the full per-step resource assignment")
+	showGantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
+	showJobs := flag.Bool("jobs", false, "print the per-job start/finish table")
+	showGraph := flag.Bool("graph", false, "print the scheduling hypergraph summary")
+	dot := flag.Bool("dot", false, "print the scheduling hypergraph in Graphviz DOT format")
+	flag.Parse()
+
+	if *list {
+		for _, name := range reg.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	inst, err := readInstance(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scheduler, err := reg.New(*algoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ev, err := algo.Evaluate(scheduler, inst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	bounds := core.LowerBounds(inst)
+	fmt.Printf("instance: m=%d, jobs=%d, total work=%.3f\n", inst.NumProcessors(), inst.TotalJobs(), inst.TotalWork())
+	fmt.Printf("algorithm: %s\n", ev.Algorithm)
+	fmt.Printf("makespan: %d\n", ev.Makespan)
+	fmt.Printf("lower bounds: work=%d chain=%d best=%d\n", bounds.Work, bounds.Chain, bounds.Best())
+	fmt.Printf("ratio to lower bound: %.4f\n", ev.Ratio)
+	fmt.Printf("wasted resource: %.4f\n", ev.Wasted)
+	fmt.Printf("properties: %s\n", ev.Properties)
+
+	if *showSchedule {
+		fmt.Print(ev.Schedule.String())
+	}
+	if *showGantt || *showJobs {
+		res, err := core.Execute(inst, ev.Schedule)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *showGantt {
+			fmt.Print(render.Gantt(res, render.GanttOptions{MaxSteps: 80}))
+		}
+		if *showJobs {
+			fmt.Print(render.JobTable(res))
+		}
+	}
+	if *showGraph || *dot {
+		g, err := hypergraph.BuildFromSchedule(inst, ev.Schedule)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *showGraph {
+			fmt.Print(g.String())
+		}
+		if *dot {
+			fmt.Print(g.DOT())
+		}
+	}
+}
+
+func readInstance(path string) (*core.Instance, error) {
+	var data []byte
+	var err error
+	if path == "" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("crsched: reading instance: %w", err)
+	}
+	var inst core.Instance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		return nil, fmt.Errorf("crsched: parsing instance: %w", err)
+	}
+	return &inst, nil
+}

@@ -1,0 +1,87 @@
+// Command crverify checks a schedule against an instance: feasibility
+// (non-negative shares, aggregate share at most one per step), completeness
+// (every job finishes), makespan, the Section-4 structural properties, and
+// the lower bounds. It exits non-zero if the schedule is infeasible or
+// incomplete, which makes it usable as a test oracle for external schedulers
+// that want to speak the same JSON format.
+//
+// Usage:
+//
+//	crverify -instance instance.json -schedule schedule.json [-gantt]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"crsharing/internal/core"
+	"crsharing/internal/hypergraph"
+	"crsharing/internal/render"
+)
+
+func main() {
+	instPath := flag.String("instance", "", "instance JSON file (required)")
+	schedPath := flag.String("schedule", "", "schedule JSON file (required)")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart")
+	graph := flag.Bool("graph", false, "print the scheduling hypergraph summary")
+	flag.Parse()
+
+	if *instPath == "" || *schedPath == "" {
+		fmt.Fprintln(os.Stderr, "crverify: both -instance and -schedule are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var inst core.Instance
+	if err := readJSON(*instPath, &inst); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var sched core.Schedule
+	if err := readJSON(*schedPath, &sched); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	res, err := core.Execute(&inst, &sched)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "INFEASIBLE: %v\n", err)
+		os.Exit(1)
+	}
+	bounds := core.LowerBounds(&inst)
+	props := core.CheckProperties(res)
+
+	fmt.Printf("instance: m=%d, jobs=%d, total work=%.3f\n", inst.NumProcessors(), inst.TotalJobs(), inst.TotalWork())
+	fmt.Printf("schedule: %d steps, finished=%v\n", sched.Steps(), res.Finished())
+	fmt.Printf("makespan: %d (lower bound %d)\n", res.Makespan(), bounds.Best())
+	fmt.Printf("wasted resource: %.4f\n", res.Wasted())
+	fmt.Printf("properties: %s\n", props)
+
+	if *gantt {
+		fmt.Print(render.Gantt(res, render.GanttOptions{MaxSteps: 120}))
+	}
+	if *graph && res.Finished() {
+		g, err := hypergraph.Build(res)
+		if err == nil {
+			fmt.Print(g.String())
+		}
+	}
+
+	if !res.Finished() {
+		fmt.Fprintln(os.Stderr, "INCOMPLETE: the schedule does not finish every job")
+		os.Exit(1)
+	}
+}
+
+func readJSON(path string, v interface{}) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("crverify: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("crverify: parsing %s: %w", path, err)
+	}
+	return nil
+}

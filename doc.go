@@ -1,0 +1,18 @@
+// Package crsharing is the root of a from-scratch Go reproduction of
+// "Scheduling Shared Continuous Resources on Many-Cores" (Althaus, Brinkmann,
+// Kling, Meyer auf der Heide, Nagel, Riechers, Sgall, Süß; SPAA 2014 /
+// Journal of Scheduling).
+//
+// The implementation lives under internal/ (model, algorithms, hypergraph
+// analysis, generators, many-core simulator, experiment harness), the
+// command-line tools under cmd/, and runnable examples under examples/. See
+// README.md for an overview, DESIGN.md for the system inventory and the
+// experiment index, and EXPERIMENTS.md for the recorded reproduction results.
+//
+// The root package itself only carries this documentation and the benchmark
+// suite (bench_test.go) that regenerates every figure-level experiment under
+// `go test -bench`.
+package crsharing
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,116 @@
+// Package algo defines the common interface implemented by every CRSharing
+// scheduling algorithm in this repository, together with a registry and an
+// evaluation envelope shared by the command-line tools, the experiment
+// harness and the tests.
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"crsharing/internal/core"
+)
+
+// Scheduler computes a feasible schedule for a CRSharing instance.
+// Implementations must return a schedule that finishes every job; they may
+// return an error when the instance lies outside the algorithm's supported
+// domain (for example, the m=2 dynamic program rejects instances with three
+// processors).
+type Scheduler interface {
+	// Name returns a short stable identifier, e.g. "greedy-balance".
+	Name() string
+	// Schedule computes a complete feasible schedule for the instance.
+	Schedule(inst *core.Instance) (*core.Schedule, error)
+}
+
+// Exact marks schedulers that always return an optimal (minimum-makespan)
+// schedule for every instance they accept.
+type Exact interface {
+	Scheduler
+	// IsExact is a marker; it always returns true.
+	IsExact() bool
+}
+
+// Evaluation bundles a schedule together with the quantities the experiment
+// harness reports about it.
+type Evaluation struct {
+	Algorithm  string
+	Schedule   *core.Schedule
+	Makespan   int
+	LowerBound int
+	Ratio      float64
+	Properties core.Properties
+	Wasted     float64
+}
+
+// Evaluate runs the scheduler on the instance, executes the resulting
+// schedule and returns the evaluation. It fails if the scheduler errs, the
+// schedule is infeasible, or it does not finish all jobs.
+func Evaluate(s Scheduler, inst *core.Instance) (*Evaluation, error) {
+	sched, err := s.Schedule(inst)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name(), err)
+	}
+	res, err := core.Execute(inst, sched)
+	if err != nil {
+		return nil, fmt.Errorf("%s: produced invalid schedule: %w", s.Name(), err)
+	}
+	if !res.Finished() {
+		return nil, fmt.Errorf("%s: schedule does not finish all jobs", s.Name())
+	}
+	lb := core.LowerBounds(inst).Best()
+	ev := &Evaluation{
+		Algorithm:  s.Name(),
+		Schedule:   sched,
+		Makespan:   res.Makespan(),
+		LowerBound: lb,
+		Properties: core.CheckProperties(res),
+		Wasted:     res.Wasted(),
+	}
+	if lb > 0 {
+		ev.Ratio = float64(ev.Makespan) / float64(lb)
+	} else {
+		ev.Ratio = 1
+	}
+	return ev, nil
+}
+
+// Registry maps algorithm names to constructors so the CLI tools can select
+// schedulers by name.
+type Registry struct {
+	factories map[string]func() Scheduler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]func() Scheduler)}
+}
+
+// Register adds a constructor under the scheduler's name. Registering the
+// same name twice panics: it is a programming error.
+func (r *Registry) Register(factory func() Scheduler) {
+	name := factory().Name()
+	if _, dup := r.factories[name]; dup {
+		panic(fmt.Sprintf("algo: duplicate registration of %q", name))
+	}
+	r.factories[name] = factory
+}
+
+// New returns a fresh scheduler instance by name.
+func (r *Registry) New(name string) (Scheduler, error) {
+	f, ok := r.factories[name]
+	if !ok {
+		return nil, fmt.Errorf("algo: unknown scheduler %q (available: %v)", name, r.Names())
+	}
+	return f(), nil
+}
+
+// Names returns the registered scheduler names in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

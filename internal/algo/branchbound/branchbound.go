@@ -1,0 +1,304 @@
+// Package branchbound provides an exact branch-and-bound solver for the
+// CRSharing problem with unit size jobs. It explores the same non-wasting,
+// progressive move space as the paper's exact algorithms (packages optres2
+// and optresm) but prunes with the Observation-1 work bound, the per-processor
+// chain bound and an incumbent obtained from GreedyBalance. It is not part of
+// the paper; it exists as a practically faster exact solver for mid-size
+// instances and as a third, independently implemented optimum oracle for the
+// test suite.
+package branchbound
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"crsharing/internal/algo/greedybalance"
+	"crsharing/internal/core"
+	"crsharing/internal/numeric"
+)
+
+// Scheduler is the exact branch-and-bound solver.
+type Scheduler struct {
+	// MaxNodes caps the number of explored search nodes (0 = DefaultMaxNodes).
+	MaxNodes int
+}
+
+// DefaultMaxNodes bounds the search so that pathological instances fail fast
+// instead of hanging.
+const DefaultMaxNodes = 20_000_000
+
+// New returns a branch-and-bound solver with default limits.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements algo.Scheduler.
+func (s *Scheduler) Name() string { return "branch-and-bound" }
+
+// IsExact marks the scheduler as exact.
+func (s *Scheduler) IsExact() bool { return true }
+
+type state struct {
+	done []int
+	rem  []float64
+}
+
+func (st *state) key() string {
+	var b strings.Builder
+	for i := range st.done {
+		b.WriteString(strconv.Itoa(st.done[i]))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(int64(math.Round(st.rem[i]*1e9)), 36))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+type solver struct {
+	inst      *core.Instance
+	best      int         // incumbent makespan
+	bestMoves [][]float64 // allocation rows of the incumbent
+	visited   map[string]int
+	nodes     int
+	maxNodes  int
+}
+
+// Schedule implements algo.Scheduler.
+func (s *Scheduler) Schedule(inst *core.Instance) (*core.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if !inst.IsUnitSize() {
+		return nil, fmt.Errorf("branchbound: requires unit size jobs")
+	}
+	if inst.TotalJobs() == 0 {
+		return &core.Schedule{}, nil
+	}
+
+	// Incumbent: the GreedyBalance schedule (a (2-1/m)-approximation), which
+	// both seeds the upper bound and guarantees we always have a feasible
+	// answer to return.
+	gbSched, err := greedybalance.New().Schedule(inst)
+	if err != nil {
+		return nil, err
+	}
+	gbRes, err := core.Execute(inst, gbSched)
+	if err != nil {
+		return nil, err
+	}
+	if !gbRes.Finished() {
+		return nil, fmt.Errorf("branchbound: internal error: incumbent schedule incomplete")
+	}
+
+	sv := &solver{
+		inst:     inst,
+		best:     gbRes.Makespan(),
+		visited:  make(map[string]int),
+		maxNodes: s.MaxNodes,
+	}
+	if sv.maxNodes <= 0 {
+		sv.maxNodes = DefaultMaxNodes
+	}
+	sv.bestMoves = allocRows(gbSched)
+
+	root := &state{done: make([]int, inst.NumProcessors()), rem: make([]float64, inst.NumProcessors())}
+	for i := 0; i < inst.NumProcessors(); i++ {
+		root.rem[i] = work(inst, i, 0)
+	}
+	if err := sv.search(root, 0, nil); err != nil {
+		return nil, err
+	}
+
+	sched := core.NewSchedule(len(sv.bestMoves), inst.NumProcessors())
+	for t, row := range sv.bestMoves {
+		copy(sched.Alloc[t], row)
+	}
+	return sched, nil
+}
+
+// Makespan returns the optimal makespan.
+func (s *Scheduler) Makespan(inst *core.Instance) (int, error) {
+	sched, err := s.Schedule(inst)
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Execute(inst, sched)
+	if err != nil {
+		return 0, err
+	}
+	if !res.Finished() {
+		return 0, fmt.Errorf("branchbound: internal error: result schedule incomplete")
+	}
+	return res.Makespan(), nil
+}
+
+func work(inst *core.Instance, p, done int) float64 {
+	if done >= inst.NumJobs(p) {
+		return 0
+	}
+	return inst.Job(p, done).Work()
+}
+
+// lowerBound returns a lower bound on the number of additional steps needed
+// from the state: the maximum of the remaining chain length and the ceiling
+// of the remaining aggregate work.
+func (sv *solver) lowerBound(st *state) int {
+	chain := 0
+	var workSum float64
+	for i := 0; i < sv.inst.NumProcessors(); i++ {
+		remaining := sv.inst.NumJobs(i) - st.done[i]
+		if remaining > chain {
+			chain = remaining
+		}
+		if remaining > 0 {
+			workSum += st.rem[i]
+			for j := st.done[i] + 1; j < sv.inst.NumJobs(i); j++ {
+				workSum += sv.inst.Job(i, j).Work()
+			}
+		}
+	}
+	workBound := int(math.Ceil(workSum - numeric.Eps))
+	if workBound > chain {
+		return workBound
+	}
+	return chain
+}
+
+// search explores the state at the given depth; moves holds the allocation
+// rows of the path so far.
+func (sv *solver) search(st *state, depth int, moves [][]float64) error {
+	sv.nodes++
+	if sv.nodes > sv.maxNodes {
+		return fmt.Errorf("branchbound: node limit of %d exceeded", sv.maxNodes)
+	}
+	finished := true
+	for i := range st.done {
+		if st.done[i] < sv.inst.NumJobs(i) {
+			finished = false
+			break
+		}
+	}
+	if finished {
+		if depth < sv.best {
+			sv.best = depth
+			sv.bestMoves = append([][]float64(nil), moves...)
+		}
+		return nil
+	}
+	if depth+sv.lowerBound(st) >= sv.best {
+		return nil // cannot improve on the incumbent
+	}
+	key := st.key()
+	if prev, ok := sv.visited[key]; ok && prev <= depth {
+		return nil // reached the same state earlier (or equally early) before
+	}
+	sv.visited[key] = depth
+
+	succ := sv.successors(st)
+	for _, next := range succ {
+		if err := sv.search(next.state, depth+1, append(moves, next.alloc)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type move struct {
+	state *state
+	alloc []float64
+}
+
+// successors enumerates the non-wasting, progressive one-step moves, ordered
+// so that moves finishing more jobs come first (good incumbent updates early
+// make the bound prune more).
+func (sv *solver) successors(st *state) []move {
+	m := sv.inst.NumProcessors()
+	var active []int
+	var total float64
+	for i := 0; i < m; i++ {
+		if st.done[i] < sv.inst.NumJobs(i) {
+			active = append(active, i)
+			total += st.rem[i]
+		}
+	}
+	derive := func(finish []int, partial int, amount float64) move {
+		ns := &state{done: append([]int(nil), st.done...), rem: append([]float64(nil), st.rem...)}
+		alloc := make([]float64, m)
+		for _, i := range finish {
+			alloc[i] = st.rem[i]
+			ns.done[i]++
+			ns.rem[i] = work(sv.inst, i, ns.done[i])
+		}
+		if partial >= 0 {
+			alloc[partial] = amount
+			ns.rem[partial] -= amount
+			if ns.rem[partial] < 0 {
+				ns.rem[partial] = 0
+			}
+		}
+		return move{state: ns, alloc: alloc}
+	}
+
+	if numeric.Leq(total, 1) {
+		return []move{derive(active, -1, 0)}
+	}
+
+	var out []move
+	k := len(active)
+	for mask := 1; mask < 1<<k; mask++ {
+		var finish []int
+		var sum float64
+		for bit := 0; bit < k; bit++ {
+			if mask&(1<<bit) != 0 {
+				finish = append(finish, active[bit])
+				sum += st.rem[active[bit]]
+			}
+		}
+		if numeric.Greater(sum, 1) {
+			continue
+		}
+		leftover := 1 - sum
+		if leftover <= numeric.Eps {
+			out = append(out, derive(finish, -1, 0))
+			continue
+		}
+		for _, p := range active {
+			if containsInt(finish, p) || !numeric.Greater(st.rem[p], leftover) {
+				continue
+			}
+			out = append(out, derive(finish, p, leftover))
+		}
+	}
+	// Order: more finished jobs first (simple insertion sort on the count of
+	// completed jobs in the successor).
+	doneCount := func(mv move) int {
+		c := 0
+		for i := range mv.state.done {
+			c += mv.state.done[i]
+		}
+		return c
+	}
+	for a := 1; a < len(out); a++ {
+		for b := a; b > 0 && doneCount(out[b]) > doneCount(out[b-1]); b-- {
+			out[b], out[b-1] = out[b-1], out[b]
+		}
+	}
+	return out
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func allocRows(s *core.Schedule) [][]float64 {
+	rows := make([][]float64, s.Steps())
+	for t := range rows {
+		rows[t] = append([]float64(nil), s.Alloc[t]...)
+	}
+	return rows
+}

@@ -1,0 +1,333 @@
+// Package optresm implements OptResAssignment2 (Algorithm 2 of the paper):
+// an exact algorithm for the CRSharing problem with unit size jobs on any
+// fixed number m of processors, running in time polynomial in n for constant
+// m (Theorem 6).
+//
+// The algorithm enumerates configurations round by round. A configuration
+// records, for every processor, the number of completed jobs and the amount
+// of resource already invested into its active job. Successor configurations
+// are generated only for non-wasting, progressive steps: a subset of active
+// jobs is completed and at most one further active job receives the leftover
+// resource. Dominated configurations (Lemma 4 / the domination relation of
+// Section 7) are pruned after every round, which keeps the number of live
+// configurations polynomial for fixed m.
+package optresm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"crsharing/internal/core"
+	"crsharing/internal/numeric"
+)
+
+// MaxProcessors bounds the supported processor count. Successor generation
+// enumerates subsets of active processors, so the per-configuration work
+// grows as 2^m; beyond this bound the algorithm is impractical and Schedule
+// returns an error instead of running away.
+const MaxProcessors = 12
+
+// DefaultMaxConfigs caps the total number of configurations kept across all
+// rounds, as a safety valve against pathological blow-up (the theoretical
+// bound of Theorem 6 is polynomial but with a large exponent).
+const DefaultMaxConfigs = 2_000_000
+
+// Scheduler is the exact fixed-m configuration-enumeration algorithm.
+type Scheduler struct {
+	// MaxConfigs overrides DefaultMaxConfigs when positive.
+	MaxConfigs int
+}
+
+// New returns an OptResAssignment2 scheduler with default limits.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements algo.Scheduler.
+func (s *Scheduler) Name() string { return "opt-res-assignment-2" }
+
+// IsExact marks the scheduler as exact.
+func (s *Scheduler) IsExact() bool { return true }
+
+// config is one (extended) configuration: the state at the start of a round.
+type config struct {
+	done []int     // jobs completed per processor
+	rem  []float64 // remaining work of the active job per processor (0 if exhausted)
+
+	parent int       // index into the previous round's slice; -1 for the root
+	alloc  []float64 // allocation of the step that produced this configuration
+}
+
+// key returns a canonical string used to deduplicate identical
+// configurations. Remaining amounts are rounded to 1e-9 to collapse
+// floating-point dust.
+func (c *config) key() string {
+	var b strings.Builder
+	for i, d := range c.done {
+		b.WriteString(strconv.Itoa(d))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(int64(math.Round(c.rem[i]*1e9)), 36))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// dominates reports whether configuration a is at least as advanced as b on
+// every processor: strictly more jobs done, or equally many jobs done with no
+// more remaining work on the active job.
+func dominates(a, b *config) bool {
+	for i := range a.done {
+		switch {
+		case a.done[i] > b.done[i]:
+			// ahead on this processor
+		case a.done[i] == b.done[i] && numeric.Leq(a.rem[i], b.rem[i]):
+			// equally far with at least as much progress on the active job
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Schedule implements algo.Scheduler.
+func (s *Scheduler) Schedule(inst *core.Instance) (*core.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if !inst.IsUnitSize() {
+		return nil, fmt.Errorf("optresm: requires unit size jobs")
+	}
+	m := inst.NumProcessors()
+	if m == 0 || inst.TotalJobs() == 0 {
+		return &core.Schedule{}, nil
+	}
+	if m > MaxProcessors {
+		return nil, fmt.Errorf("optresm: %d processors exceeds the supported maximum of %d", m, MaxProcessors)
+	}
+	maxConfigs := s.MaxConfigs
+	if maxConfigs <= 0 {
+		maxConfigs = DefaultMaxConfigs
+	}
+
+	root := &config{done: make([]int, m), rem: make([]float64, m), parent: -1}
+	for i := 0; i < m; i++ {
+		root.rem[i] = work(inst, i, 0)
+	}
+	if isFinal(inst, root) {
+		return &core.Schedule{}, nil
+	}
+
+	rounds := [][]*config{{root}}
+	totalConfigs := 1
+
+	for t := 0; ; t++ {
+		current := rounds[t]
+		var next []*config
+		seen := make(map[string]int)
+
+		for parentIdx, c := range current {
+			succ := successors(inst, c)
+			for _, nc := range succ {
+				nc.parent = parentIdx
+				k := nc.key()
+				if prev, ok := seen[k]; ok {
+					// Identical configuration already generated this round;
+					// keep the existing one (same state, same time).
+					_ = prev
+					continue
+				}
+				seen[k] = len(next)
+				next = append(next, nc)
+			}
+		}
+		if len(next) == 0 {
+			return nil, fmt.Errorf("optresm: internal error: no successor configurations at round %d", t+1)
+		}
+
+		// Check for a final configuration before pruning: any final
+		// configuration reached in this round is optimal.
+		for _, nc := range next {
+			if isFinal(inst, nc) {
+				rounds = append(rounds, next)
+				return reconstruct(inst, rounds, nc), nil
+			}
+		}
+
+		next = pruneDominated(next)
+		totalConfigs += len(next)
+		if totalConfigs > maxConfigs {
+			return nil, fmt.Errorf("optresm: configuration limit of %d exceeded (instance too large for the exact algorithm)", maxConfigs)
+		}
+		rounds = append(rounds, next)
+	}
+}
+
+// Makespan returns only the optimal makespan.
+func (s *Scheduler) Makespan(inst *core.Instance) (int, error) {
+	sched, err := s.Schedule(inst)
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Execute(inst, sched)
+	if err != nil {
+		return 0, err
+	}
+	if !res.Finished() {
+		return 0, fmt.Errorf("optresm: internal error: reconstructed schedule incomplete")
+	}
+	return res.Makespan(), nil
+}
+
+func work(inst *core.Instance, p, done int) float64 {
+	if done >= inst.NumJobs(p) {
+		return 0
+	}
+	return inst.Job(p, done).Work()
+}
+
+func isFinal(inst *core.Instance, c *config) bool {
+	for i := range c.done {
+		if c.done[i] < inst.NumJobs(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// successors enumerates all non-wasting, progressive one-step transitions
+// from configuration c.
+func successors(inst *core.Instance, c *config) []*config {
+	m := inst.NumProcessors()
+	var active []int
+	var totalDemand numeric.KahanAdder
+	for i := 0; i < m; i++ {
+		if c.done[i] < inst.NumJobs(i) {
+			active = append(active, i)
+			totalDemand.Add(c.rem[i])
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+
+	// Case 1: everything fits — the unique non-wasting choice finishes every
+	// active job.
+	if numeric.Leq(totalDemand.Sum(), 1) {
+		nc := derive(inst, c, active, -1, 0)
+		return []*config{nc}
+	}
+
+	// Case 2: enumerate subsets F of active processors whose jobs finish this
+	// step, plus at most one processor receiving the leftover.
+	var out []*config
+	k := len(active)
+	for mask := 0; mask < 1<<k; mask++ {
+		var sum numeric.KahanAdder
+		var finish []int
+		for bit := 0; bit < k; bit++ {
+			if mask&(1<<bit) != 0 {
+				finish = append(finish, active[bit])
+				sum.Add(c.rem[active[bit]])
+			}
+		}
+		if numeric.Greater(sum.Sum(), 1) {
+			continue
+		}
+		leftover := 1 - sum.Sum()
+		if leftover <= numeric.Eps {
+			if len(finish) > 0 {
+				out = append(out, derive(inst, c, finish, -1, 0))
+			}
+			continue
+		}
+		// The leftover must go to exactly one unfinished active job whose
+		// remaining demand strictly exceeds it (otherwise that job belongs in
+		// F and the same successor arises from a different mask).
+		for _, p := range active {
+			if contains(finish, p) {
+				continue
+			}
+			if numeric.Greater(c.rem[p], leftover) {
+				out = append(out, derive(inst, c, finish, p, leftover))
+			}
+		}
+	}
+	return out
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// derive builds the successor configuration in which the processors in
+// `finish` complete their active jobs, and processor `partial` (if >= 0)
+// receives `amount` of resource without finishing. It also records the
+// allocation row of the step.
+func derive(inst *core.Instance, c *config, finish []int, partial int, amount float64) *config {
+	m := inst.NumProcessors()
+	nc := &config{
+		done:  append([]int(nil), c.done...),
+		rem:   append([]float64(nil), c.rem...),
+		alloc: make([]float64, m),
+	}
+	for _, i := range finish {
+		nc.alloc[i] = c.rem[i]
+		nc.done[i]++
+		nc.rem[i] = work(inst, i, nc.done[i])
+	}
+	if partial >= 0 {
+		nc.alloc[partial] = amount
+		nc.rem[partial] -= amount
+		if nc.rem[partial] < 0 {
+			nc.rem[partial] = 0
+		}
+	}
+	return nc
+}
+
+// pruneDominated removes every configuration dominated by another one in the
+// same round. When two configurations dominate each other (identical state)
+// the one with the lower index is kept.
+func pruneDominated(configs []*config) []*config {
+	removed := make([]bool, len(configs))
+	for i := range configs {
+		if removed[i] {
+			continue
+		}
+		for j := range configs {
+			if i == j || removed[j] || removed[i] {
+				continue
+			}
+			if dominates(configs[i], configs[j]) {
+				removed[j] = true
+			} else if dominates(configs[j], configs[i]) {
+				removed[i] = true
+			}
+		}
+	}
+	var out []*config
+	for i, c := range configs {
+		if !removed[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// reconstruct walks the parent chain of the final configuration and emits the
+// per-step allocations.
+func reconstruct(inst *core.Instance, rounds [][]*config, final *config) *core.Schedule {
+	steps := len(rounds) - 1
+	sched := core.NewSchedule(steps, inst.NumProcessors())
+	c := final
+	for t := steps - 1; t >= 0; t-- {
+		copy(sched.Alloc[t], c.alloc)
+		c = rounds[t][c.parent]
+	}
+	return sched
+}

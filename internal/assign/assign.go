@@ -1,0 +1,211 @@
+// Package assign re-introduces the classical scheduling aspect that the
+// CRSharing model deliberately fixes: deciding which processor runs which
+// task. The paper's Section 9 outlook asks what happens when the job
+// sequences are not a priori bound to processors; this package provides the
+// standard assignment policies (round robin, longest-processing-time-first,
+// least-loaded by job count, random) that map a bag of tasks onto m
+// processors, producing a CRSharing instance that the paper's resource
+// schedulers then solve. The experiments use it to quantify how much of the
+// final makespan is determined by placement versus by resource assignment.
+package assign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"crsharing/internal/core"
+)
+
+// Task is one program: an ordered sequence of jobs that must run on a single
+// processor.
+type Task struct {
+	Name string
+	Jobs []core.Job
+}
+
+// NewUnitTask builds a task of unit-size jobs from requirements.
+func NewUnitTask(name string, reqs ...float64) Task {
+	jobs := make([]core.Job, len(reqs))
+	for i, r := range reqs {
+		jobs[i] = core.UnitJob(r)
+	}
+	return Task{Name: name, Jobs: jobs}
+}
+
+// Work returns the task's total work Σ r·p.
+func (t Task) Work() float64 {
+	var w float64
+	for _, j := range t.Jobs {
+		w += j.Work()
+	}
+	return w
+}
+
+// Steps returns the minimum number of steps the task occupies a processor.
+func (t Task) Steps() int {
+	s := 0
+	for _, j := range t.Jobs {
+		s += j.Steps()
+	}
+	return s
+}
+
+// Assignment maps each task index to a processor.
+type Assignment struct {
+	// Proc[k] is the processor assigned to task k.
+	Proc []int
+	// M is the number of processors.
+	M int
+}
+
+// Instance materialises the assignment: each processor's job sequence is the
+// concatenation of its tasks' job sequences, in task-index order (ties in
+// placement keep the input order, mirroring how a dispatcher would enqueue
+// arriving tasks).
+func (a Assignment) Instance(tasks []Task) (*core.Instance, error) {
+	if len(a.Proc) != len(tasks) {
+		return nil, fmt.Errorf("assign: assignment covers %d tasks, got %d", len(a.Proc), len(tasks))
+	}
+	procs := make([][]core.Job, a.M)
+	for k, t := range tasks {
+		p := a.Proc[k]
+		if p < 0 || p >= a.M {
+			return nil, fmt.Errorf("assign: task %d assigned to processor %d outside [0,%d)", k, p, a.M)
+		}
+		procs[p] = append(procs[p], t.Jobs...)
+	}
+	return core.NewSizedInstance(procs...), nil
+}
+
+// Loads returns the total work per processor under the assignment.
+func (a Assignment) Loads(tasks []Task) []float64 {
+	loads := make([]float64, a.M)
+	for k, t := range tasks {
+		loads[a.Proc[k]] += t.Work()
+	}
+	return loads
+}
+
+// Policy chooses an assignment of tasks to processors.
+type Policy interface {
+	// Name returns a short identifier.
+	Name() string
+	// Assign places the tasks onto m processors.
+	Assign(tasks []Task, m int) Assignment
+}
+
+// RoundRobin places task k on processor k mod m.
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "assign-round-robin" }
+
+// Assign implements Policy.
+func (RoundRobin) Assign(tasks []Task, m int) Assignment {
+	a := Assignment{Proc: make([]int, len(tasks)), M: m}
+	for k := range tasks {
+		a.Proc[k] = k % m
+	}
+	return a
+}
+
+// LPT (longest processing time first) sorts tasks by decreasing total work
+// and greedily places each on the currently least-loaded processor — the
+// classical Graham heuristic, here with "load" measured in aggregate work.
+type LPT struct{}
+
+// Name implements Policy.
+func (LPT) Name() string { return "assign-lpt" }
+
+// Assign implements Policy.
+func (LPT) Assign(tasks []Task, m int) Assignment {
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return tasks[order[a]].Work() > tasks[order[b]].Work() })
+	assignment := Assignment{Proc: make([]int, len(tasks)), M: m}
+	loads := make([]float64, m)
+	for _, k := range order {
+		best := 0
+		for p := 1; p < m; p++ {
+			if loads[p] < loads[best] {
+				best = p
+			}
+		}
+		assignment.Proc[k] = best
+		loads[best] += tasks[k].Work()
+	}
+	return assignment
+}
+
+// LeastJobs places each task (in input order) on the processor with the
+// fewest jobs so far, balancing chain lengths rather than work.
+type LeastJobs struct{}
+
+// Name implements Policy.
+func (LeastJobs) Name() string { return "assign-least-jobs" }
+
+// Assign implements Policy.
+func (LeastJobs) Assign(tasks []Task, m int) Assignment {
+	assignment := Assignment{Proc: make([]int, len(tasks)), M: m}
+	counts := make([]int, m)
+	for k, t := range tasks {
+		best := 0
+		for p := 1; p < m; p++ {
+			if counts[p] < counts[best] {
+				best = p
+			}
+		}
+		assignment.Proc[k] = best
+		counts[best] += len(t.Jobs)
+	}
+	return assignment
+}
+
+// Random places every task on a processor drawn uniformly at random; it is
+// the baseline that shows how much placement matters at all.
+type Random struct {
+	Rng *rand.Rand
+}
+
+// Name implements Policy.
+func (Random) Name() string { return "assign-random" }
+
+// Assign implements Policy.
+func (r Random) Assign(tasks []Task, m int) Assignment {
+	rng := r.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	assignment := Assignment{Proc: make([]int, len(tasks)), M: m}
+	for k := range tasks {
+		assignment.Proc[k] = rng.Intn(m)
+	}
+	return assignment
+}
+
+// Policies returns the deterministic built-in policies (Random is excluded
+// because it needs a seed; construct it explicitly when wanted).
+func Policies() []Policy {
+	return []Policy{RoundRobin{}, LPT{}, LeastJobs{}}
+}
+
+// RandomTasks draws `count` unit-size tasks with jobsLo..jobsHi jobs and
+// requirements uniform in [reqLo, reqHi]; a convenience for the experiments.
+func RandomTasks(rng *rand.Rand, count, jobsLo, jobsHi int, reqLo, reqHi float64) []Task {
+	tasks := make([]Task, count)
+	for i := range tasks {
+		n := jobsLo
+		if jobsHi > jobsLo {
+			n += rng.Intn(jobsHi - jobsLo + 1)
+		}
+		reqs := make([]float64, n)
+		for j := range reqs {
+			reqs[j] = reqLo + rng.Float64()*(reqHi-reqLo)
+		}
+		tasks[i] = NewUnitTask(fmt.Sprintf("task-%03d", i), reqs...)
+	}
+	return tasks
+}

@@ -1,0 +1,56 @@
+package core
+
+import "math"
+
+// Bounds collects the lower bounds on the optimal makespan used throughout
+// the paper's analysis.
+type Bounds struct {
+	// Work is ⌈Σ_ij r_ij · p_ij⌉: the aggregate-work bound of Observation 1.
+	// The aggregate speed of all processors is capped at one, so at most one
+	// unit of work completes per step.
+	Work int
+	// Chain is the critical-path bound: no processor can finish its own job
+	// sequence faster than the sum of its jobs' minimum step counts. For unit
+	// size jobs this equals n = max_i n_i (used repeatedly in Sections 4-8).
+	Chain int
+}
+
+// Best returns the strongest of the collected lower bounds.
+func (b Bounds) Best() int {
+	if b.Work > b.Chain {
+		return b.Work
+	}
+	return b.Chain
+}
+
+// LowerBounds computes the makespan lower bounds for an instance.
+func LowerBounds(inst *Instance) Bounds {
+	work := inst.TotalWork()
+	workBound := int(math.Ceil(work - 1e-9))
+	chain := 0
+	for i := 0; i < inst.NumProcessors(); i++ {
+		steps := 0
+		for _, j := range inst.Jobs(i) {
+			steps += j.Steps()
+		}
+		if steps > chain {
+			chain = steps
+		}
+	}
+	return Bounds{Work: workBound, Chain: chain}
+}
+
+// ApproxRatio returns the ratio of a schedule's makespan to the best known
+// lower bound for the instance. It is an upper bound on the schedule's true
+// approximation ratio and is used by the experiment harness when computing
+// the exact optimum is infeasible.
+func ApproxRatio(inst *Instance, makespan int) float64 {
+	lb := LowerBounds(inst).Best()
+	if lb == 0 {
+		if makespan == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(makespan) / float64(lb)
+}

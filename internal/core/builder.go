@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+
+	"crsharing/internal/numeric"
+)
+
+// Builder incrementally constructs a schedule for an instance while tracking
+// the execution state (active job and remaining work per processor). It
+// mirrors the semantics of Execute exactly, so a schedule assembled through a
+// Builder replays to the same trajectory. All scheduling algorithms in this
+// repository construct their output through a Builder rather than
+// manipulating allocation matrices directly.
+type Builder struct {
+	inst     *Instance
+	sched    *Schedule
+	next     []int     // first unfinished job per processor
+	remWork  []float64 // remaining work of the active job (resource units)
+	remVol   []float64 // remaining volume of the active job (volume units)
+	finished int       // number of fully finished processors
+}
+
+// NewBuilder returns a Builder for the given instance positioned at time
+// step one with no resource assigned yet.
+func NewBuilder(inst *Instance) *Builder {
+	m := inst.NumProcessors()
+	b := &Builder{
+		inst:    inst,
+		sched:   &Schedule{},
+		next:    make([]int, m),
+		remWork: make([]float64, m),
+		remVol:  make([]float64, m),
+	}
+	for i := 0; i < m; i++ {
+		if inst.NumJobs(i) > 0 {
+			b.remWork[i] = inst.Job(i, 0).Work()
+			b.remVol[i] = inst.Job(i, 0).Size
+		} else {
+			b.finished++
+		}
+	}
+	return b
+}
+
+// Instance returns the instance the builder schedules.
+func (b *Builder) Instance() *Instance { return b.inst }
+
+// NumProcessors returns the instance's processor count.
+func (b *Builder) NumProcessors() int { return b.inst.NumProcessors() }
+
+// Step returns the zero-based index of the time step that would be appended
+// next (equivalently, the number of steps already built).
+func (b *Builder) Step() int { return b.sched.Steps() }
+
+// Done reports whether every job of every processor has been completed.
+func (b *Builder) Done() bool { return b.finished == b.inst.NumProcessors() }
+
+// Active reports whether processor i still has unfinished jobs.
+func (b *Builder) Active(i int) bool { return b.next[i] < b.inst.NumJobs(i) }
+
+// ActiveJob returns the index of the first unfinished job of processor i, or
+// -1 if the processor is done.
+func (b *Builder) ActiveJob(i int) int {
+	if !b.Active(i) {
+		return -1
+	}
+	return b.next[i]
+}
+
+// RemainingJobs returns n_i(t) for the current step t.
+func (b *Builder) RemainingJobs(i int) int { return b.inst.NumJobs(i) - b.next[i] }
+
+// RemainingWork returns the remaining work (resource units still to be spent)
+// of processor i's active job; zero if the processor is done.
+func (b *Builder) RemainingWork(i int) float64 { return b.remWork[i] }
+
+// RemainingVolume returns the remaining processing volume of processor i's
+// active job; zero if the processor is done.
+func (b *Builder) RemainingVolume(i int) float64 { return b.remVol[i] }
+
+// DemandThisStep returns the share of the resource processor i can usefully
+// consume during the next step: min(r_ij, remaining work) for the active job,
+// or 0 if the processor is idle. Assigning more than this is wasted.
+func (b *Builder) DemandThisStep(i int) float64 {
+	if !b.Active(i) {
+		return 0
+	}
+	req := b.inst.Job(i, b.next[i]).Req
+	return math.Min(req, b.remWork[i])
+}
+
+// TotalDemandThisStep returns the sum of DemandThisStep over all processors.
+func (b *Builder) TotalDemandThisStep() float64 {
+	var k numeric.KahanAdder
+	for i := 0; i < b.NumProcessors(); i++ {
+		k.Add(b.DemandThisStep(i))
+	}
+	return k.Sum()
+}
+
+// AppendStep appends one time step assigning shares[i] to processor i and
+// advances the internal execution state. Shares beyond the instance's
+// processor count are ignored; a nil or short slice is padded with zeros.
+func (b *Builder) AppendStep(shares []float64) {
+	m := b.NumProcessors()
+	row := make([]float64, m)
+	for i := 0; i < m && i < len(shares); i++ {
+		row[i] = shares[i]
+	}
+	b.sched.Alloc = append(b.sched.Alloc, row)
+
+	for i := 0; i < m; i++ {
+		if !b.Active(i) {
+			continue
+		}
+		job := b.inst.Job(i, b.next[i])
+		if job.Req <= numeric.Eps {
+			b.remVol[i] -= 1
+			b.remWork[i] = 0
+			if b.remVol[i] <= numeric.Eps {
+				b.advance(i)
+			}
+			continue
+		}
+		useful := math.Min(row[i], job.Req)
+		useful = math.Min(useful, b.remWork[i])
+		b.remWork[i] -= useful
+		b.remVol[i] -= useful / job.Req
+		if b.remWork[i] <= numeric.Eps {
+			b.advance(i)
+		}
+	}
+}
+
+func (b *Builder) advance(i int) {
+	b.next[i]++
+	if b.next[i] < b.inst.NumJobs(i) {
+		b.remWork[i] = b.inst.Job(i, b.next[i]).Work()
+		b.remVol[i] = b.inst.Job(i, b.next[i]).Size
+	} else {
+		b.remWork[i] = 0
+		b.remVol[i] = 0
+		b.finished++
+	}
+}
+
+// Schedule finalises and returns the constructed schedule. The builder can
+// continue to be used afterwards; the returned schedule is a snapshot copy.
+func (b *Builder) Schedule() *Schedule { return b.sched.Clone() }
+
+// BuildGreedy appends steps until all jobs are finished (or the safety cap of
+// steps is exceeded), each step calling pick to obtain the allocation. It is
+// a convenience loop shared by the priority-driven algorithms. The safety cap
+// guards against allocation functions that assign no useful resource; it is
+// generous (total volume steps plus total work steps plus slack).
+func (b *Builder) BuildGreedy(pick func(b *Builder) []float64) *Schedule {
+	cap := b.safetyCap()
+	for !b.Done() && b.Step() < cap {
+		b.AppendStep(pick(b))
+	}
+	return b.Schedule()
+}
+
+func (b *Builder) safetyCap() int {
+	steps := 0
+	for i := 0; i < b.inst.NumProcessors(); i++ {
+		for _, j := range b.inst.Jobs(i) {
+			steps += j.Steps()
+		}
+	}
+	return steps + int(math.Ceil(b.inst.TotalWork())) + b.inst.TotalJobs() + 16
+}

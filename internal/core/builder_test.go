@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderTracksStateLikeExecute(t *testing.T) {
+	// Whatever allocation sequence a builder applies, executing the resulting
+	// schedule must reproduce the same final state (property-based check).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng, 1+rng.Intn(3), 1+rng.Intn(4), 0.05, 1.0)
+		b := NewBuilder(inst)
+		steps := 1 + rng.Intn(8)
+		for s := 0; s < steps && !b.Done(); s++ {
+			shares := make([]float64, inst.NumProcessors())
+			avail := 1.0
+			for i := 0; i < inst.NumProcessors(); i++ {
+				if !b.Active(i) {
+					continue
+				}
+				give := rng.Float64() * avail
+				if d := b.DemandThisStep(i); give > d {
+					give = d
+				}
+				shares[i] = give
+				avail -= give
+			}
+			b.AppendStep(shares)
+		}
+		sched := b.Schedule()
+		res, err := Execute(inst, sched)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < inst.NumProcessors(); i++ {
+			if res.JobsDone(sched.Steps(), i) != inst.NumJobs(i)-b.RemainingJobs(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("builder/executor divergence: %v", err)
+	}
+}
+
+func TestBuilderDemandAndDone(t *testing.T) {
+	inst := NewInstance([]float64{0.5, 0.3}, []float64{0.8})
+	b := NewBuilder(inst)
+	if b.Done() {
+		t.Fatalf("fresh builder cannot be done")
+	}
+	if got := b.DemandThisStep(0); got != 0.5 {
+		t.Fatalf("demand = %v, want 0.5", got)
+	}
+	if got := b.TotalDemandThisStep(); got != 1.3 {
+		t.Fatalf("total demand = %v, want 1.3", got)
+	}
+	b.AppendStep([]float64{0.5, 0.5})
+	if b.ActiveJob(0) != 1 {
+		t.Fatalf("processor 1 should be on its second job")
+	}
+	if b.RemainingJobs(1) != 1 {
+		t.Fatalf("processor 2 should still have 1 job")
+	}
+	if got := b.RemainingWork(1); !almostEq(got, 0.3) {
+		t.Fatalf("remaining work = %v, want 0.3", got)
+	}
+	b.AppendStep([]float64{0.3, 0.3})
+	if !b.Done() {
+		t.Fatalf("all jobs should be finished")
+	}
+	if b.ActiveJob(0) != -1 || b.DemandThisStep(0) != 0 {
+		t.Fatalf("finished processor should report no active job and zero demand")
+	}
+}
+
+func TestBuilderShortSharesArePadded(t *testing.T) {
+	inst := NewInstance([]float64{0.5}, []float64{0.5})
+	b := NewBuilder(inst)
+	b.AppendStep([]float64{0.5}) // second processor implicitly 0
+	if b.Active(0) {
+		t.Fatalf("processor 1 should have finished")
+	}
+	if !b.Active(1) {
+		t.Fatalf("processor 2 received nothing and must still be active")
+	}
+}
+
+func TestBuilderBuildGreedyTerminatesOnStarvation(t *testing.T) {
+	// An allocation function that never assigns anything still terminates
+	// thanks to the safety cap (the resulting schedule simply does not finish
+	// the jobs).
+	inst := NewInstance([]float64{0.5, 0.5})
+	b := NewBuilder(inst)
+	sched := b.BuildGreedy(func(b *Builder) []float64 { return []float64{0} })
+	if b.Done() {
+		t.Fatalf("starved builder cannot have finished")
+	}
+	if sched.Steps() == 0 {
+		t.Fatalf("safety cap should still have produced steps")
+	}
+}
+
+func TestBuilderVolumeTracking(t *testing.T) {
+	inst := NewSizedInstance([]Job{{Req: 0.5, Size: 2}})
+	b := NewBuilder(inst)
+	if got := b.RemainingVolume(0); got != 2 {
+		t.Fatalf("remaining volume = %v, want 2", got)
+	}
+	b.AppendStep([]float64{0.5})
+	if got := b.RemainingVolume(0); !almostEq(got, 1) {
+		t.Fatalf("after one full-speed step remaining volume = %v, want 1", got)
+	}
+	b.AppendStep([]float64{0.25})
+	if got := b.RemainingVolume(0); !almostEq(got, 0.5) {
+		t.Fatalf("after a half-speed step remaining volume = %v, want 0.5", got)
+	}
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// simulateEquationOne re-executes a schedule using the paper's primary
+// formulation (equation (1)): job (i,j), started at step t1, completes at the
+// first t2 with Σ_{t=t1..t2} min(R_i(t)/r_ij, 1) ≥ p_ij (speed capped at one,
+// full speed for zero-requirement jobs). It is an independent implementation
+// of the progress law used to cross-validate the execution engine, which
+// internally uses the alternative formulation (equation (2)).
+func simulateEquationOne(inst *Instance, s *Schedule) (completion [][]int, finished bool) {
+	m := inst.NumProcessors()
+	completion = make([][]int, m)
+	finished = true
+	for i := 0; i < m; i++ {
+		completion[i] = make([]int, inst.NumJobs(i))
+		for j := range completion[i] {
+			completion[i][j] = -1
+		}
+		t := 0
+		for j := 0; j < inst.NumJobs(i); j++ {
+			job := inst.Job(i, j)
+			remainingVolume := job.Size
+			done := false
+			for ; t < s.Steps(); t++ {
+				speed := 1.0
+				if job.Req > 1e-12 {
+					speed = math.Min(s.Share(t, i)/job.Req, 1)
+				}
+				remainingVolume -= speed
+				if remainingVolume <= 1e-9 {
+					completion[i][j] = t
+					t++ // the next job can start no earlier than the next step
+					done = true
+					break
+				}
+			}
+			if !done {
+				finished = false
+				// Remaining jobs of this processor cannot finish either.
+				break
+			}
+		}
+	}
+	return completion, finished
+}
+
+// TestExecuteMatchesEquationOneFormulation cross-checks the engine against
+// the independent equation-(1) simulator on random instances and schedules,
+// covering unit and non-unit sizes as well as zero-requirement jobs.
+func TestExecuteMatchesEquationOneFormulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140623))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(4)
+		procs := make([][]Job, m)
+		for i := range procs {
+			n := 1 + rng.Intn(4)
+			procs[i] = make([]Job, n)
+			for j := range procs[i] {
+				req := rng.Float64()
+				if rng.Intn(8) == 0 {
+					req = 0 // exercise the zero-requirement path
+				}
+				size := 1.0
+				if rng.Intn(3) == 0 {
+					size = 0.5 + rng.Float64()*2.5
+				}
+				procs[i][j] = Job{Req: req, Size: size}
+			}
+		}
+		inst := NewSizedInstance(procs...)
+
+		steps := 2 + rng.Intn(20)
+		sched := NewSchedule(steps, m)
+		for tt := 0; tt < steps; tt++ {
+			avail := 1.0
+			for _, i := range rng.Perm(m) {
+				give := rng.Float64() * avail
+				sched.Alloc[tt][i] = give
+				avail -= give
+			}
+		}
+
+		res, err := Execute(inst, sched)
+		if err != nil {
+			t.Fatalf("trial %d: Execute: %v", trial, err)
+		}
+		wantCompletion, wantFinished := simulateEquationOne(inst, sched)
+		if res.Finished() != wantFinished {
+			t.Fatalf("trial %d: engine finished=%v, equation (1) simulator says %v\n%v",
+				trial, res.Finished(), wantFinished, inst)
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < inst.NumJobs(i); j++ {
+				if got, want := res.CompletionStep(i, j), wantCompletion[i][j]; got != want {
+					t.Fatalf("trial %d: job (%d,%d) completes at %d per the engine but %d per equation (1)\n%v",
+						trial, i+1, j+1, got, want, inst)
+				}
+			}
+		}
+	}
+}

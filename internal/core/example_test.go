@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"fmt"
+
+	"crsharing/internal/core"
+)
+
+// ExampleExecute shows the model's progress law: a job granted half of its
+// requirement runs at half speed and needs two steps.
+func ExampleExecute() {
+	inst := core.NewInstance([]float64{0.8})
+	sched := core.NewSchedule(2, 1)
+	sched.Alloc[0][0] = 0.4
+	sched.Alloc[1][0] = 0.4
+
+	res, _ := core.Execute(inst, sched)
+	fmt.Println("finished:", res.Finished())
+	fmt.Println("makespan:", res.Makespan())
+	// Output:
+	// finished: true
+	// makespan: 2
+}
+
+// ExampleLowerBounds shows the two lower bounds the paper's analysis uses:
+// the aggregate work (Observation 1) and the longest chain.
+func ExampleLowerBounds() {
+	inst := core.NewInstance(
+		[]float64{0.5, 0.5, 0.5},
+		[]float64{1.0},
+	)
+	b := core.LowerBounds(inst)
+	fmt.Println("work bound:", b.Work)
+	fmt.Println("chain bound:", b.Chain)
+	fmt.Println("best:", b.Best())
+	// Output:
+	// work bound: 3
+	// chain bound: 3
+	// best: 3
+}
+
+// ExampleCheckProperties evaluates the structural properties of Section 4 for
+// a hand-built schedule.
+func ExampleCheckProperties() {
+	inst := core.NewInstance([]float64{0.5, 0.5}, []float64{1.0})
+	sched := core.NewSchedule(2, 2)
+	sched.Alloc[0] = []float64{0.5, 0.5}
+	sched.Alloc[1] = []float64{0.5, 0.5}
+
+	res, _ := core.Execute(inst, sched)
+	fmt.Println(core.CheckProperties(res))
+	// Output:
+	// non-wasting progressive nested balanced
+}
+
+// ExampleCanonicalize applies the Lemma 1 transformation to a wasteful
+// schedule: the canonical schedule finishes no later and is non-wasting,
+// progressive and nested.
+func ExampleCanonicalize() {
+	inst := core.NewInstance([]float64{0.6, 0.6})
+	wasteful := core.NewSchedule(4, 1)
+	wasteful.Alloc[0][0] = 0.3
+	wasteful.Alloc[1][0] = 0.3
+	wasteful.Alloc[2][0] = 0.3
+	wasteful.Alloc[3][0] = 0.3
+
+	canon, _ := core.Canonicalize(inst, wasteful)
+	fmt.Println("canonical makespan:", core.MustMakespan(inst, canon))
+	// Output:
+	// canonical makespan: 2
+}

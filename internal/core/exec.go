@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"crsharing/internal/numeric"
+)
+
+// Result captures the outcome of executing a schedule against an instance:
+// per-job start and completion steps, the per-step state trajectory, the
+// makespan, and accounting of wasted resource. All step indices are
+// zero-based; a completion step of t means the job finished during step t
+// (the paper's step t+1).
+type Result struct {
+	inst  *Instance
+	sched *Schedule
+
+	// start[i][j] is the first step in which job (i,j) received resource (or
+	// made progress, for jobs with zero requirement); -1 if it never started.
+	start [][]int
+	// completion[i][j] is the step in which job (i,j) finished; -1 if it
+	// never finished within the schedule's horizon.
+	completion [][]int
+	// remaining[t][i] is the remaining work (alternative-model units) of the
+	// active job of processor i at the START of step t; zero when the
+	// processor has no unfinished jobs. Indexed 0..steps (inclusive), so
+	// remaining[steps] is the state after the whole schedule ran.
+	remaining [][]float64
+	// jobsDone[t][i] is j_i(t): the number of jobs processor i has completed
+	// at the START of step t. Indexed 0..steps (inclusive).
+	jobsDone [][]int
+	// progressed[t][i] reports whether processor i made progress on a job
+	// during step t (needed to decide whether a zero-requirement job or a
+	// zero-share step "runs" a job).
+	progressed [][]bool
+
+	makespan int
+	finished bool
+	wasted   float64
+}
+
+// Execute runs schedule s on instance inst under the model's progress law and
+// returns the resulting trajectory. It returns an error if the instance or
+// schedule is malformed or the schedule overuses the resource; it does NOT
+// fail when the schedule is too short to finish all jobs — query
+// Result.Finished for that.
+//
+// Semantics per step t and processor i:
+//   - a processor works on its first unfinished job (i,j), if any;
+//   - the job's remaining work decreases by min(R_i(t), r_ij) (alternative
+//     model, equation (2)); equivalently it progresses min(R_i(t)/r_ij, 1)
+//     volume units (equation (1));
+//   - jobs with r_ij = 0 progress one volume unit per step regardless of the
+//     assigned share (equation (1) with the speed capped at one);
+//   - a processor processes at most one job per step: share exceeding the
+//     active job's remaining need is wasted, it does not spill into the next
+//     job;
+//   - share assigned to a processor with no unfinished jobs is wasted.
+func Execute(inst *Instance, s *Schedule) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("core: nil schedule")
+	}
+	if err := s.ValidateFeasible(); err != nil {
+		return nil, err
+	}
+	if p := s.NumProcessors(); p != 0 && p < inst.NumProcessors() {
+		return nil, fmt.Errorf("core: schedule covers %d processors, instance has %d", p, inst.NumProcessors())
+	}
+
+	m := inst.NumProcessors()
+	steps := s.Steps()
+
+	res := &Result{
+		inst:       inst,
+		sched:      s,
+		start:      make([][]int, m),
+		completion: make([][]int, m),
+		remaining:  make([][]float64, steps+1),
+		jobsDone:   make([][]int, steps+1),
+		progressed: make([][]bool, steps),
+		makespan:   0,
+		finished:   true,
+	}
+	for i := 0; i < m; i++ {
+		ni := inst.NumJobs(i)
+		res.start[i] = make([]int, ni)
+		res.completion[i] = make([]int, ni)
+		for j := range res.start[i] {
+			res.start[i][j] = -1
+			res.completion[i][j] = -1
+		}
+	}
+
+	// Per-processor dynamic state.
+	next := make([]int, m)        // index of first unfinished job
+	remWork := make([]float64, m) // remaining work of that job (resource units)
+	remVol := make([]float64, m)  // remaining volume of that job (volume units)
+	for i := 0; i < m; i++ {
+		if inst.NumJobs(i) > 0 {
+			remWork[i] = inst.Job(i, 0).Work()
+			remVol[i] = inst.Job(i, 0).Size
+		}
+	}
+
+	snapshot := func(t int) {
+		res.remaining[t] = append([]float64(nil), remWork...)
+		done := make([]int, m)
+		copy(done, next)
+		res.jobsDone[t] = done
+	}
+	snapshot(0)
+
+	var wasted numeric.KahanAdder
+	for t := 0; t < steps; t++ {
+		res.progressed[t] = make([]bool, m)
+		for i := 0; i < m; i++ {
+			share := s.Share(t, i)
+			if next[i] >= inst.NumJobs(i) {
+				// Idle processor: any share is wasted.
+				wasted.Add(share)
+				continue
+			}
+			job := inst.Job(i, next[i])
+			if res.start[i][next[i]] == -1 && (share > numeric.Eps || job.Req <= numeric.Eps) {
+				res.start[i][next[i]] = t
+			}
+			if job.Req <= numeric.Eps {
+				// Zero-requirement job: full speed regardless of share.
+				remVol[i] -= 1
+				remWork[i] = 0
+				res.progressed[t][i] = true
+				wasted.Add(share)
+				if remVol[i] <= numeric.Eps {
+					res.completion[i][next[i]] = t
+					res.makespan = t + 1
+					advance(inst, i, next, remWork, remVol)
+				}
+				continue
+			}
+			// Progress limited by both the share and the per-step speed cap.
+			useful := math.Min(share, job.Req)
+			useful = math.Min(useful, remWork[i])
+			if useful > numeric.Eps {
+				res.progressed[t][i] = true
+			}
+			wasted.Add(share - useful)
+			remWork[i] -= useful
+			remVol[i] -= useful / job.Req
+			if remWork[i] <= numeric.Eps {
+				remWork[i] = 0
+				remVol[i] = 0
+				res.completion[i][next[i]] = t
+				res.makespan = t + 1
+				advance(inst, i, next, remWork, remVol)
+			}
+		}
+		snapshot(t + 1)
+	}
+
+	for i := 0; i < m; i++ {
+		if next[i] < inst.NumJobs(i) {
+			res.finished = false
+		}
+	}
+	res.wasted = wasted.Sum()
+	return res, nil
+}
+
+// advance moves processor i to its next job and initialises the remaining
+// work/volume trackers.
+func advance(inst *Instance, i int, next []int, remWork, remVol []float64) {
+	next[i]++
+	if next[i] < inst.NumJobs(i) {
+		remWork[i] = inst.Job(i, next[i]).Work()
+		remVol[i] = inst.Job(i, next[i]).Size
+	} else {
+		remWork[i] = 0
+		remVol[i] = 0
+	}
+}
+
+// Instance returns the instance the result was computed for.
+func (r *Result) Instance() *Instance { return r.inst }
+
+// Schedule returns the schedule the result was computed for.
+func (r *Result) Schedule() *Schedule { return r.sched }
+
+// Finished reports whether all jobs completed within the schedule's horizon.
+func (r *Result) Finished() bool { return r.finished }
+
+// Makespan returns the number of time steps until the last job completes. It
+// is only meaningful when Finished() is true (otherwise it is the completion
+// step of the last job that did finish).
+func (r *Result) Makespan() int { return r.makespan }
+
+// Wasted returns the total amount of resource assigned but not converted into
+// job progress over the whole schedule.
+func (r *Result) Wasted() float64 { return r.wasted }
+
+// StartStep returns the zero-based step in which job (i,j) first received
+// resource, or -1 if it never started.
+func (r *Result) StartStep(i, j int) int { return r.start[i][j] }
+
+// CompletionStep returns the zero-based step in which job (i,j) completed, or
+// -1 if it never completed within the schedule's horizon.
+func (r *Result) CompletionStep(i, j int) int { return r.completion[i][j] }
+
+// JobsDone returns j_i(t): the number of jobs processor i has completed at
+// the start of zero-based step t (t may equal Steps(), giving the final
+// state).
+func (r *Result) JobsDone(t, i int) int { return r.jobsDone[t][i] }
+
+// RemainingJobs returns n_i(t): the number of unfinished jobs of processor i
+// at the start of zero-based step t.
+func (r *Result) RemainingJobs(t, i int) int {
+	return r.inst.NumJobs(i) - r.jobsDone[t][i]
+}
+
+// Active reports whether processor i is active (has unfinished jobs) at the
+// start of zero-based step t.
+func (r *Result) Active(t, i int) bool { return r.RemainingJobs(t, i) > 0 }
+
+// ActiveJob returns the index of the job processor i works on at the start of
+// zero-based step t and true, or (-1, false) if the processor is idle.
+func (r *Result) ActiveJob(t, i int) (int, bool) {
+	if !r.Active(t, i) {
+		return -1, false
+	}
+	return r.jobsDone[t][i], true
+}
+
+// RemainingWork returns the remaining work (alternative-model units) of the
+// active job on processor i at the start of zero-based step t; zero if the
+// processor is idle.
+func (r *Result) RemainingWork(t, i int) float64 { return r.remaining[t][i] }
+
+// Progressed reports whether processor i made progress on a job during
+// zero-based step t.
+func (r *Result) Progressed(t, i int) bool {
+	if t < 0 || t >= len(r.progressed) {
+		return false
+	}
+	return r.progressed[t][i]
+}
+
+// FinishedJobDuring reports whether processor i completed a job during
+// zero-based step t.
+func (r *Result) FinishedJobDuring(t, i int) bool {
+	if t < 0 || t+1 >= len(r.jobsDone) {
+		return false
+	}
+	return r.jobsDone[t+1][i] > r.jobsDone[t][i]
+}
+
+// Steps returns the number of steps of the executed schedule.
+func (r *Result) Steps() int { return r.sched.Steps() }
+
+// NumProcessors returns the instance's processor count.
+func (r *Result) NumProcessors() int { return r.inst.NumProcessors() }
+
+// ActiveJobs returns the identifiers of all jobs active at the start of
+// zero-based step t (the edge e_{t+1} of the scheduling hypergraph).
+func (r *Result) ActiveJobs(t int) []JobID {
+	var ids []JobID
+	for i := 0; i < r.NumProcessors(); i++ {
+		if j, ok := r.ActiveJob(t, i); ok {
+			ids = append(ids, JobID{Proc: i, Pos: j})
+		}
+	}
+	return ids
+}
+
+// CompletionOrder returns all jobs sorted by completion step (ties broken by
+// processor then position). Jobs that never completed are excluded.
+func (r *Result) CompletionOrder() []JobID {
+	var ids []JobID
+	for i := range r.completion {
+		for j, c := range r.completion[i] {
+			if c >= 0 {
+				ids = append(ids, JobID{Proc: i, Pos: j})
+			}
+		}
+	}
+	// Insertion sort keeps this dependency-free and is fast enough for the
+	// instance sizes handled here; callers needing large-scale sorting go
+	// through package sort in the algorithms themselves.
+	for a := 1; a < len(ids); a++ {
+		for b := a; b > 0; b-- {
+			cb, cp := r.completion[ids[b].Proc][ids[b].Pos], r.completion[ids[b-1].Proc][ids[b-1].Pos]
+			if cb < cp || (cb == cp && less(ids[b], ids[b-1])) {
+				ids[b], ids[b-1] = ids[b-1], ids[b]
+			} else {
+				break
+			}
+		}
+	}
+	return ids
+}
+
+func less(a, b JobID) bool {
+	if a.Proc != b.Proc {
+		return a.Proc < b.Proc
+	}
+	return a.Pos < b.Pos
+}
+
+// MustMakespan executes s on inst and returns the makespan. It panics if the
+// schedule is infeasible or does not finish all jobs; it is a convenience for
+// tests and examples.
+func MustMakespan(inst *Instance, s *Schedule) int {
+	res, err := Execute(inst, s)
+	if err != nil {
+		panic(err)
+	}
+	if !res.Finished() {
+		panic("core: schedule does not finish all jobs")
+	}
+	return res.Makespan()
+}

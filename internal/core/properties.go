@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"crsharing/internal/numeric"
+)
+
+// Properties summarises which of the structural schedule properties of
+// Section 4 (Definitions 2-5) a schedule satisfies with respect to an
+// instance.
+type Properties struct {
+	NonWasting  bool
+	Progressive bool
+	Nested      bool
+	Balanced    bool
+}
+
+// String renders the property set compactly, e.g. "non-wasting progressive nested".
+func (p Properties) String() string {
+	s := ""
+	add := func(ok bool, name string) {
+		if ok {
+			if s != "" {
+				s += " "
+			}
+			s += name
+		}
+	}
+	add(p.NonWasting, "non-wasting")
+	add(p.Progressive, "progressive")
+	add(p.Nested, "nested")
+	add(p.Balanced, "balanced")
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// CheckProperties evaluates all four structural properties for the executed
+// schedule.
+func CheckProperties(r *Result) Properties {
+	return Properties{
+		NonWasting:  IsNonWasting(r),
+		Progressive: IsProgressive(r),
+		Nested:      IsNested(r),
+		Balanced:    IsBalanced(r),
+	}
+}
+
+// IsNonWasting implements Definition 2: a schedule is non-wasting if, during
+// every time step t with Σ_i R_i(t) < 1, all jobs active at the start of t
+// are finished during t.
+func IsNonWasting(r *Result) bool {
+	for t := 0; t < r.Steps(); t++ {
+		if numeric.Geq(r.Schedule().StepTotal(t), 1) {
+			continue
+		}
+		for i := 0; i < r.NumProcessors(); i++ {
+			if r.Active(t, i) && !r.FinishedJobDuring(t, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsProgressive implements Definition 3: among all jobs that are assigned
+// resources during a step, at most one is only partially processed, i.e.
+// |{ i | n_i(t) = n_i(t+1) ∧ R_i(t) > 0 }| ≤ 1 for every step t.
+func IsProgressive(r *Result) bool {
+	for t := 0; t < r.Steps(); t++ {
+		partial := 0
+		for i := 0; i < r.NumProcessors(); i++ {
+			if !r.Active(t, i) {
+				continue
+			}
+			if r.Schedule().Share(t, i) > numeric.Eps && !r.FinishedJobDuring(t, i) {
+				partial++
+			}
+		}
+		if partial > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNested implements Definition 4: there is no time step t and pair of jobs
+// (i,j), (i',j') such that S(i,j) < S(i',j') ≤ t < C(i',j'),
+// S(i',j') < C(i,j), and (i,j) is running (receiving resource) during step t.
+// Intuitively: among partially processed jobs, the one started latest is
+// preferred and completed first, so job lifetimes form a laminar (nested)
+// family.
+func IsNested(r *Result) bool {
+	type span struct {
+		id   JobID
+		s, c int
+	}
+	var spans []span
+	for i := 0; i < r.NumProcessors(); i++ {
+		for j := 0; j < r.Instance().NumJobs(i); j++ {
+			s, c := r.StartStep(i, j), r.CompletionStep(i, j)
+			if s < 0 || c < 0 {
+				// Jobs that never started or never finished cannot witness a
+				// violation within the executed horizon.
+				continue
+			}
+			spans = append(spans, span{id: JobID{Proc: i, Pos: j}, s: s, c: c})
+		}
+	}
+	running := func(id JobID, t int) bool {
+		// A job is "running" in step t if it is the active job of its
+		// processor and receives a positive share (or is a zero-requirement
+		// job making progress).
+		j, ok := r.ActiveJob(t, id.Proc)
+		if !ok || j != id.Pos {
+			return false
+		}
+		return r.Progressed(t, id.Proc)
+	}
+	for _, a := range spans { // candidate (i,j)
+		for _, b := range spans { // candidate (i',j')
+			if a.id == b.id {
+				continue
+			}
+			if !(a.s < b.s && b.s < a.c) {
+				continue
+			}
+			for t := b.s; t < b.c; t++ {
+				if t >= a.s && running(a.id, t) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsBalanced implements Definition 5: whenever a processor i finishes a job
+// during step t, every processor i' with n_{i'}(t) > n_i(t) also finishes a
+// job during step t.
+func IsBalanced(r *Result) bool {
+	for t := 0; t < r.Steps(); t++ {
+		for i := 0; i < r.NumProcessors(); i++ {
+			if !r.FinishedJobDuring(t, i) {
+				continue
+			}
+			for k := 0; k < r.NumProcessors(); k++ {
+				if r.RemainingJobs(t, k) > r.RemainingJobs(t, i) && !r.FinishedJobDuring(t, k) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// CheckProposition1 verifies both invariants of Proposition 1 for a balanced
+// schedule: for all processors i1, i2 and steps t,
+//
+//	(a) n_{i1} ≥ n_{i2}  ⇒  n_{i1}(t) ≥ n_{i2}(t) − 1, and
+//	(b) n_{i1} > n_{i2}  ⇒  n_{i1}(t) ≤ n_{i2}(t) + n_{i1} − n_{i2}.
+//
+// It returns a descriptive error for the first violated invariant, or nil.
+// The proposition only holds for balanced schedules; callers typically check
+// IsBalanced first.
+func CheckProposition1(r *Result) error {
+	m := r.NumProcessors()
+	for t := 0; t <= r.Steps(); t++ {
+		for i1 := 0; i1 < m; i1++ {
+			for i2 := 0; i2 < m; i2++ {
+				n1, n2 := r.Instance().NumJobs(i1), r.Instance().NumJobs(i2)
+				r1, r2 := r.Instance().NumJobs(i1)-r.JobsDone(t, i1), r.Instance().NumJobs(i2)-r.JobsDone(t, i2)
+				if n1 >= n2 && !(r1 >= r2-1) {
+					return fmt.Errorf("core: Proposition 1(a) violated at t=%d for processors %d,%d: n_%d(t)=%d < n_%d(t)-1=%d",
+						t+1, i1+1, i2+1, i1+1, r1, i2+1, r2-1)
+				}
+				if n1 > n2 && !(r1 <= r2+n1-n2) {
+					return fmt.Errorf("core: Proposition 1(b) violated at t=%d for processors %d,%d: n_%d(t)=%d > %d",
+						t+1, i1+1, i2+1, i1+1, r1, r2+n1-n2)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckProposition2 verifies Proposition 2 for a balanced schedule: if job
+// (i,j) is active at step t and it is not the last job of processor i
+// (n_i(t) > 1), then every processor in M_j (those with at least j jobs) is
+// active at step t. Job indices in the proposition are one-based; the
+// zero-based code converts accordingly.
+func CheckProposition2(r *Result) error {
+	for t := 0; t < r.Steps(); t++ {
+		for i := 0; i < r.NumProcessors(); i++ {
+			j, ok := r.ActiveJob(t, i)
+			if !ok || r.RemainingJobs(t, i) <= 1 {
+				continue
+			}
+			for _, other := range r.Instance().ProcsWithAtLeast(j + 1) {
+				if !r.Active(t, other) {
+					return fmt.Errorf("core: Proposition 2 violated at t=%d: job (%d,%d) active with n_%d(t)>1 but processor %d idle",
+						t+1, i+1, j+1, i+1, other+1)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomFeasibleSchedule builds a feasible (but deliberately sloppy) schedule
+// for the instance: each step splits a random fraction of the resource among
+// random processors, and the horizon is extended until everything finishes.
+func randomFeasibleSchedule(rng *rand.Rand, inst *Instance) *Schedule {
+	b := NewBuilder(inst)
+	for !b.Done() {
+		m := inst.NumProcessors()
+		shares := make([]float64, m)
+		avail := 0.2 + 0.8*rng.Float64() // intentionally wasteful: not always 1
+		for _, i := range rng.Perm(m) {
+			if !b.Active(i) {
+				continue
+			}
+			give := avail * (0.2 + 0.8*rng.Float64())
+			if d := b.DemandThisStep(i); give > d {
+				give = d
+			}
+			shares[i] = give
+			avail -= give
+		}
+		// Guarantee progress so the loop terminates: give the first active
+		// processor its demand if nothing was assigned.
+		progress := false
+		for i := 0; i < m; i++ {
+			if shares[i] > 1e-12 {
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			for i := 0; i < m; i++ {
+				if b.Active(i) {
+					d := b.DemandThisStep(i)
+					if d > 1 {
+						d = 1
+					}
+					if d == 0 {
+						d = 0 // zero-requirement job progresses anyway
+					}
+					shares[i] = d
+					break
+				}
+			}
+		}
+		b.AppendStep(shares)
+	}
+	return b.Schedule()
+}
+
+func TestCanonicalizeProducesLemma1Properties(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		m := 1 + rng.Intn(4)
+		inst := randomInstance(rng, m, 1+rng.Intn(5), 0.05, 1.0)
+		orig := randomFeasibleSchedule(rng, inst)
+		origRes, err := Execute(inst, orig)
+		if err != nil {
+			t.Fatalf("Execute original: %v", err)
+		}
+		if !origRes.Finished() {
+			t.Fatalf("random schedule must finish (builder loops until done)")
+		}
+
+		canon, err := Canonicalize(inst, orig)
+		if err != nil {
+			t.Fatalf("Canonicalize: %v", err)
+		}
+		res, err := Execute(inst, canon)
+		if err != nil {
+			t.Fatalf("Execute canonical: %v", err)
+		}
+		if !res.Finished() {
+			t.Fatalf("canonical schedule must finish all jobs")
+		}
+		if res.Makespan() > origRes.Makespan() {
+			t.Fatalf("trial %d: canonicalisation increased the makespan from %d to %d\n%v",
+				trial, origRes.Makespan(), res.Makespan(), inst)
+		}
+		p := CheckProperties(res)
+		if !p.NonWasting {
+			t.Fatalf("trial %d: canonical schedule not non-wasting\n%v\n%v", trial, inst, canon)
+		}
+		if !p.Progressive {
+			t.Fatalf("trial %d: canonical schedule not progressive\n%v\n%v", trial, inst, canon)
+		}
+		if !p.Nested {
+			t.Fatalf("trial %d: canonical schedule not nested\n%v\n%v", trial, inst, canon)
+		}
+	}
+}
+
+func TestCanonicalizeKeepsOptimalSchedulesOptimal(t *testing.T) {
+	// Canonicalising the (already optimal) Figure 2b schedule must not change
+	// its makespan.
+	inst := figure2Instance()
+	canon, err := Canonicalize(inst, figure2NestedSchedule())
+	if err != nil {
+		t.Fatalf("Canonicalize: %v", err)
+	}
+	if got := MustMakespan(inst, canon); got != 4 {
+		t.Fatalf("canonicalised Figure 2 schedule has makespan %d, want 4", got)
+	}
+}
+
+func TestCanonicalizeFixesUnnestedSchedule(t *testing.T) {
+	inst := figure2Instance()
+	canon, err := Canonicalize(inst, figure2UnnestedSchedule())
+	if err != nil {
+		t.Fatalf("Canonicalize: %v", err)
+	}
+	res, err := Execute(inst, canon)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !res.Finished() || res.Makespan() != 4 {
+		t.Fatalf("canonical schedule should still finish in 4 steps, got %d", res.Makespan())
+	}
+	if !IsNested(res) {
+		t.Fatalf("canonicalisation must produce a nested schedule")
+	}
+}
+
+func TestCanonicalizeRejectsInfeasibleInput(t *testing.T) {
+	inst := NewInstance([]float64{0.5}, []float64{0.6})
+	bad := NewSchedule(1, 2)
+	bad.Alloc[0] = []float64{0.8, 0.8}
+	if _, err := Canonicalize(inst, bad); err == nil {
+		t.Fatalf("expected error for resource-overusing schedule")
+	}
+}
+
+func TestCanonicalizeResultMatchesCanonicalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := randomInstance(rng, 3, 3, 0.1, 1.0)
+	orig := randomFeasibleSchedule(rng, inst)
+	res, err := Execute(inst, orig)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	a := CanonicalizeResult(res)
+	b, err := Canonicalize(inst, orig)
+	if err != nil {
+		t.Fatalf("Canonicalize: %v", err)
+	}
+	if MustMakespan(inst, a) != MustMakespan(inst, b) {
+		t.Fatalf("the two canonicalisation entry points disagree")
+	}
+}

@@ -1,0 +1,326 @@
+// Package gen constructs CRSharing problem instances: the worked examples and
+// worst-case families from the paper (Figures 1-5, the Theorem 4 reduction
+// gadget, the Theorem 8 block construction) as well as seeded random
+// instances used by the tests, the experiment harness and the benchmarks.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crsharing/internal/core"
+)
+
+// Figure1 returns the three-processor example instance of Figure 1 of the
+// paper (requirements given there in percent as node labels):
+//
+//	p1: 20 10 10 10
+//	p2: 50 55 90 55 10
+//	p3: 50 40 95
+func Figure1() *core.Instance {
+	return core.NewInstance(
+		[]float64{0.20, 0.10, 0.10, 0.10},
+		[]float64{0.50, 0.55, 0.90, 0.55, 0.10},
+		[]float64{0.50, 0.40, 0.95},
+	)
+}
+
+// Figure2 returns the input of Figure 2a: one processor with four jobs of
+// requirement 1/2 and two processors with a single full-requirement job. The
+// figure uses it to contrast nested and unnested schedules.
+func Figure2() *core.Instance {
+	return core.NewInstance(
+		[]float64{0.50, 0.50, 0.50, 0.50},
+		[]float64{1.00},
+		[]float64{1.00},
+	)
+}
+
+// Figure3 returns the two-processor worst-case family for RoundRobin used in
+// the proof of Theorem 3, parameterised by n: with ε = 1/n the first
+// processor's j-th job has requirement j·ε and the second processor's j-th
+// job has requirement (1+ε) − j·ε. RoundRobin needs 2n steps on it while the
+// optimum needs n+1, so the ratio tends to 2.
+func Figure3(n int) *core.Instance {
+	if n < 1 {
+		panic("gen: Figure3 requires n >= 1")
+	}
+	eps := 1.0 / float64(n)
+	r1 := make([]float64, n)
+	r2 := make([]float64, n)
+	for j := 1; j <= n; j++ {
+		r1[j-1] = float64(j) * eps
+		r2[j-1] = (1 + eps) - r1[j-1]
+	}
+	// The last job of processor 1 has requirement exactly 1 and the last job
+	// of processor 2 requirement exactly ε; clamp float drift into [0,1].
+	for j := range r1 {
+		r1[j] = clamp01(r1[j])
+		r2[j] = clamp01(r2[j])
+	}
+	return core.NewInstance(r1, r2)
+}
+
+// Figure3OptimalSchedule returns the schedule from Figure 3a that finishes
+// the Figure3(n) instance in n+1 steps: the first step runs processor 2's
+// full-requirement first job alone, and every following step t pairs
+// processor 2's job t with processor 1's job t−1, whose requirements sum to
+// exactly one, so no resource is ever wasted. It exists so tests can verify
+// the upper bound of the construction without running an exact algorithm for
+// large n.
+func Figure3OptimalSchedule(n int) *core.Schedule {
+	inst := Figure3(n)
+	// Greedy with processor 2 prioritised: processor 2's jobs are decreasing
+	// (1, 1−ε, ..., ε) and pair with processor 1's increasing jobs one step
+	// later so that every step's demand sums to exactly one.
+	b := core.NewBuilder(inst)
+	return b.BuildGreedy(func(b *core.Builder) []float64 {
+		shares := make([]float64, 2)
+		avail := 1.0
+		d2 := b.DemandThisStep(1)
+		if d2 > avail {
+			d2 = avail
+		}
+		shares[1] = d2
+		avail -= d2
+		d1 := b.DemandThisStep(0)
+		if d1 > avail {
+			d1 = avail
+		}
+		shares[0] = d1
+		return shares
+	})
+}
+
+// GreedyWorstCase returns the Theorem 8 / Figure 5 block construction on m
+// processors with the given number of blocks and perturbation ε. Each block
+// is an m×m group of jobs; GreedyBalance spends 2m−1 steps per block whereas
+// an optimal schedule needs only m steps per block (asymptotically), so the
+// approximation ratio of GreedyBalance tends to 2 − 1/m.
+//
+// Note on the construction: the journal text defines the second column of a
+// block as r_{1,j+1} = 1 − Σ_i (1 − r_ij) + ε, but the worked example of
+// Figure 5 (m = 3, ε = 0.01, values 7, 13, 19, ...) matches
+// r_{1,j+1} = Σ_i (1 − r_ij) + ε, which is also what the diagonal-sum
+// argument of the proof requires. This generator therefore implements the
+// latter and the tests verify the Figure 5 values exactly.
+//
+// If blocks is larger than the construction supports for the chosen ε (a
+// requirement would become negative), the construction is truncated at the
+// last valid block, mirroring the paper's stopping rule. Use MaxBlocks to
+// query the limit.
+func GreedyWorstCase(m, blocks int, eps float64) *core.Instance {
+	if m < 2 {
+		panic("gen: GreedyWorstCase requires m >= 2")
+	}
+	if eps <= 0 || eps >= 1.0/float64(m*(m+1)) {
+		// The construction needs i·ε < 1 in the first column and room for the
+		// growing second-column entries; this conservative bound keeps every
+		// block of the first few valid.
+		panic("gen: GreedyWorstCase requires 0 < eps < 1/(m(m+1))")
+	}
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = []float64{}
+	}
+
+	appendBlock := func(first []float64) bool {
+		// first is the block's first column (length m); returns false if any
+		// entry of the block would be negative (construction must stop).
+		secondTop := eps
+		for _, r := range first {
+			secondTop += 1 - r
+		}
+		if secondTop > 1 || secondTop < 0 {
+			return false
+		}
+		for _, r := range first {
+			if r < 0 || r > 1 {
+				return false
+			}
+		}
+		for i := 0; i < m; i++ {
+			rows[i] = append(rows[i], first[i])
+		}
+		for i := 0; i < m; i++ {
+			if i == 0 {
+				rows[i] = append(rows[i], secondTop)
+			} else {
+				rows[i] = append(rows[i], eps)
+			}
+		}
+		for col := 2; col < m; col++ {
+			for i := 0; i < m; i++ {
+				rows[i] = append(rows[i], eps)
+			}
+		}
+		return true
+	}
+
+	// First block's first column: r_i1 = 1 − i·ε.
+	first := make([]float64, m)
+	for i := 0; i < m; i++ {
+		first[i] = 1 - float64(i+1)*eps
+	}
+	for b := 0; b < blocks; b++ {
+		if !appendBlock(first) {
+			break
+		}
+		// Next block's first column: rows 1..m−1 get 1 − (m−1)ε; row m gets
+		// 1 − Σ_{i'=1}^{m−1} r_{m−i', j−i'} where j is the new first column,
+		// i.e. one minus the sum of the up-right diagonal through the block
+		// just appended.
+		cols := len(rows[0])
+		next := make([]float64, m)
+		for i := 0; i < m-1; i++ {
+			next[i] = 1 - float64(m-1)*eps
+		}
+		var diag float64
+		for ip := 1; ip <= m-1; ip++ {
+			row := m - ip - 1 // zero-based row index of r_{m-i', ...}
+			col := cols - ip  // zero-based column index of column j−i'
+			diag += rows[row][col]
+		}
+		next[m-1] = 1 - diag
+		first = next
+	}
+	return core.NewInstance(rows...)
+}
+
+// MaxBlocks returns the number of complete blocks the GreedyWorstCase
+// construction supports for the given m and ε before a requirement would
+// leave [0, 1].
+func MaxBlocks(m int, eps float64) int {
+	blocks := 0
+	for b := 1; ; b++ {
+		inst := GreedyWorstCase(m, b, eps)
+		if inst.NumJobs(0) < b*m {
+			return blocks
+		}
+		blocks = b
+		if b > 1_000_000 {
+			return blocks
+		}
+	}
+}
+
+// PartitionGadget returns the CRSharing instance of the Theorem 4 reduction
+// for the Partition instance a_1, ..., a_n with Σ a_i = 2A. Every processor i
+// carries three unit size jobs with requirements ã_i, ε̃, ã_i where
+// ã_i = a_i/(A+δ), ε̃ = ε/(A+δ) and δ = n·ε. The resulting instance has an
+// optimal makespan of 4 if and only if the Partition instance is a
+// YES-instance; otherwise the optimum is 5.
+func PartitionGadget(elems []int64, eps float64) (*core.Instance, error) {
+	n := len(elems)
+	if n == 0 {
+		return nil, fmt.Errorf("gen: empty Partition instance")
+	}
+	var total int64
+	for _, a := range elems {
+		if a <= 0 {
+			return nil, fmt.Errorf("gen: Partition elements must be positive, got %d", a)
+		}
+		total += a
+	}
+	if total%2 != 0 {
+		return nil, fmt.Errorf("gen: Partition element sum %d is odd; the reduction requires Σ a_i = 2A", total)
+	}
+	if eps <= 0 || eps >= 1.0/float64(n) {
+		return nil, fmt.Errorf("gen: reduction requires ε in (0, 1/n)")
+	}
+	for _, a := range elems {
+		if a > total/2 {
+			return nil, fmt.Errorf("gen: element %d exceeds A=%d; the reduction requires a_i ≤ A so that ã_i ≤ 1 (instances with a_i > A are trivially NO)", a, total/2)
+		}
+	}
+	a := float64(total) / 2
+	delta := float64(n) * eps
+	den := a + delta
+	rows := make([][]float64, n)
+	for i, ai := range elems {
+		at := float64(ai) / den
+		et := eps / den
+		rows[i] = []float64{at, et, at}
+	}
+	return core.NewInstance(rows...), nil
+}
+
+// Random draws a unit-size instance with m processors, jobsPerProc jobs each,
+// and requirements uniform in [lo, hi]. The generator is deterministic for a
+// given seed.
+func Random(rng *rand.Rand, m, jobsPerProc int, lo, hi float64) *core.Instance {
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = make([]float64, jobsPerProc)
+		for j := range rows[i] {
+			rows[i][j] = clamp01(lo + rng.Float64()*(hi-lo))
+		}
+	}
+	return core.NewInstance(rows...)
+}
+
+// RandomUneven draws a unit-size instance in which processor i has a job
+// count drawn uniformly from [minJobs, maxJobs] and requirements uniform in
+// [lo, hi]. It exercises the unbalanced-length situations that the balanced
+// schedules of Section 8 must cope with.
+func RandomUneven(rng *rand.Rand, m, minJobs, maxJobs int, lo, hi float64) *core.Instance {
+	rows := make([][]float64, m)
+	for i := range rows {
+		n := minJobs
+		if maxJobs > minJobs {
+			n += rng.Intn(maxJobs - minJobs + 1)
+		}
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			rows[i][j] = clamp01(lo + rng.Float64()*(hi-lo))
+		}
+	}
+	return core.NewInstance(rows...)
+}
+
+// RandomBimodal draws requirements from a bimodal mixture: with probability
+// heavyProb a "heavy" requirement uniform in [0.7, 1.0], otherwise a "light"
+// one uniform in [0.01, 0.15]. Such mixtures model the I/O-intensive versus
+// compute-dominated phases of the paper's motivating workloads and are the
+// regime in which bandwidth scheduling decisions matter most.
+func RandomBimodal(rng *rand.Rand, m, jobsPerProc int, heavyProb float64) *core.Instance {
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = make([]float64, jobsPerProc)
+		for j := range rows[i] {
+			if rng.Float64() < heavyProb {
+				rows[i][j] = 0.7 + rng.Float64()*0.3
+			} else {
+				rows[i][j] = 0.01 + rng.Float64()*0.14
+			}
+		}
+	}
+	return core.NewInstance(rows...)
+}
+
+// RandomSized draws an instance with arbitrary job sizes: requirements
+// uniform in [lo, hi] and sizes uniform in [1, maxSize]. It feeds the
+// general-size extension experiments (the paper's Section 9 outlook).
+func RandomSized(rng *rand.Rand, m, jobsPerProc int, lo, hi, maxSize float64) *core.Instance {
+	procs := make([][]core.Job, m)
+	for i := range procs {
+		procs[i] = make([]core.Job, jobsPerProc)
+		for j := range procs[i] {
+			procs[i][j] = core.Job{
+				Req:  clamp01(lo + rng.Float64()*(hi-lo)),
+				Size: 1 + rng.Float64()*(maxSize-1),
+			}
+		}
+	}
+	return core.NewSizedInstance(procs...)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

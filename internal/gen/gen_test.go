@@ -1,0 +1,261 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crsharing/internal/core"
+	"crsharing/internal/numeric"
+)
+
+func TestFigure1Shape(t *testing.T) {
+	inst := Figure1()
+	if inst.NumProcessors() != 3 {
+		t.Fatalf("Figure 1 has 3 processors, got %d", inst.NumProcessors())
+	}
+	wantCounts := []int{4, 5, 3}
+	for i, w := range wantCounts {
+		if inst.NumJobs(i) != w {
+			t.Fatalf("processor %d has %d jobs, want %d", i+1, inst.NumJobs(i), w)
+		}
+	}
+	if !numeric.Eq(inst.Job(1, 2).Req, 0.90) {
+		t.Fatalf("job (2,3) requirement = %v, want 0.90", inst.Job(1, 2).Req)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	inst := Figure2()
+	if inst.NumProcessors() != 3 || inst.NumJobs(0) != 4 || inst.NumJobs(1) != 1 || inst.NumJobs(2) != 1 {
+		t.Fatalf("unexpected Figure 2 shape: %v", inst)
+	}
+	if !numeric.Eq(inst.TotalWork(), 4) {
+		t.Fatalf("Figure 2 total work = %v, want 4", inst.TotalWork())
+	}
+}
+
+func TestFigure3Construction(t *testing.T) {
+	n := 100
+	inst := Figure3(n)
+	eps := 1.0 / float64(n)
+	for j := 1; j <= n; j++ {
+		r1 := inst.Job(0, j-1).Req
+		r2 := inst.Job(1, j-1).Req
+		if !numeric.Eq(r1, float64(j)*eps) {
+			t.Fatalf("r1%d = %v, want %v", j, r1, float64(j)*eps)
+		}
+		if !numeric.Eq(r1+r2, 1+eps) {
+			t.Fatalf("pair %d sums to %v, want %v", j, r1+r2, 1+eps)
+		}
+	}
+	// Total work is n·(1+ε) = n+1, matching the optimal makespan.
+	if !numeric.Eq(inst.TotalWork(), float64(n)+1) {
+		t.Fatalf("total work = %v, want %v", inst.TotalWork(), float64(n)+1)
+	}
+}
+
+func TestFigure3OptimalScheduleIsOptimal(t *testing.T) {
+	for _, n := range []int{3, 10, 200} {
+		inst := Figure3(n)
+		sched := Figure3OptimalSchedule(n)
+		got := core.MustMakespan(inst, sched)
+		if got != n+1 {
+			t.Fatalf("n=%d: schedule finishes in %d steps, want %d", n, got, n+1)
+		}
+		res, err := core.Execute(inst, sched)
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		// The optimal schedule wastes (almost) nothing; only the first step
+		// leaves the ε-job of processor 1 untouched.
+		if res.Wasted() > 1e-6 {
+			t.Fatalf("n=%d: optimal schedule wastes %v", n, res.Wasted())
+		}
+	}
+}
+
+func TestFigure3Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Figure3(0) must panic")
+		}
+	}()
+	Figure3(0)
+}
+
+func TestGreedyWorstCaseMatchesFigure5Values(t *testing.T) {
+	// Figure 5 uses m = 3, ε = 0.01 and labels requirements in percent:
+	//   p1: 99  7 1 98 13 1 98 19 1 98
+	//   p2: 98  1 1 98  1 1 98  1 1 98
+	//   p3: 97  1 1 92  1 1 86  1 1 80
+	inst := GreedyWorstCase(3, 4, 0.01)
+	want := [][]float64{
+		{0.99, 0.07, 0.01, 0.98, 0.13, 0.01, 0.98, 0.19, 0.01, 0.98, 0.25, 0.01},
+		{0.98, 0.01, 0.01, 0.98, 0.01, 0.01, 0.98, 0.01, 0.01, 0.98, 0.01, 0.01},
+		{0.97, 0.01, 0.01, 0.92, 0.01, 0.01, 0.86, 0.01, 0.01, 0.80, 0.01, 0.01},
+	}
+	for i := range want {
+		if inst.NumJobs(i) != len(want[i]) {
+			t.Fatalf("processor %d has %d jobs, want %d", i+1, inst.NumJobs(i), len(want[i]))
+		}
+		for j, w := range want[i] {
+			if got := inst.Job(i, j).Req; math.Abs(got-w) > 1e-9 {
+				t.Fatalf("r[%d][%d] = %v, want %v", i+1, j+1, got, w)
+			}
+		}
+	}
+}
+
+func TestGreedyWorstCaseDiagonalsSumToOne(t *testing.T) {
+	// The optimal schedule exploits that the down-right diagonals
+	// {(m,j), (m−1,j−1), ..., (1,j−m+1)} have total requirement exactly 1
+	// for every column j ≥ m+1.
+	m := 3
+	inst := GreedyWorstCase(m, 5, 0.005)
+	cols := inst.NumJobs(0)
+	for j := m; j < cols; j++ { // zero-based column of the bottom row entry
+		var sum float64
+		for i := 0; i < m; i++ {
+			row := m - 1 - i
+			col := j - i
+			sum += inst.Job(row, col).Req
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("diagonal ending at column %d sums to %v, want 1", j+1, sum)
+		}
+	}
+}
+
+func TestGreedyWorstCaseTruncates(t *testing.T) {
+	m := 3
+	eps := 1.0 / float64(10*m*(m+1)) // 1/120
+	max := MaxBlocks(m, eps)
+	if max < 2 {
+		t.Fatalf("expected at least 2 valid blocks for eps=%v, got %d", eps, max)
+	}
+	inst := GreedyWorstCase(m, max+5, eps)
+	if inst.NumJobs(0) != max*m {
+		t.Fatalf("construction should truncate at %d blocks (%d jobs), got %d jobs", max, max*m, inst.NumJobs(0))
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("truncated construction must stay valid: %v", err)
+	}
+}
+
+func TestGreedyWorstCasePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { GreedyWorstCase(1, 1, 0.01) },
+		func() { GreedyWorstCase(3, 1, 0.5) },
+		func() { GreedyWorstCase(3, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for invalid parameters")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPartitionGadgetProperties(t *testing.T) {
+	elems := []int64{3, 1, 2, 2}
+	inst, err := PartitionGadget(elems, 0.01)
+	if err != nil {
+		t.Fatalf("PartitionGadget: %v", err)
+	}
+	if inst.NumProcessors() != len(elems) {
+		t.Fatalf("gadget has %d processors, want %d", inst.NumProcessors(), len(elems))
+	}
+	for i := range elems {
+		if inst.NumJobs(i) != 3 {
+			t.Fatalf("every gadget processor has 3 jobs, got %d", inst.NumJobs(i))
+		}
+		if !numeric.Eq(inst.Job(i, 0).Req, inst.Job(i, 2).Req) {
+			t.Fatalf("first and third job of processor %d must have equal requirements", i+1)
+		}
+	}
+	// The first jobs together need strictly more than the full resource, so
+	// no schedule finishes them all in one step (the key property of the
+	// reduction).
+	var sum float64
+	for i := range elems {
+		sum += inst.Job(i, 0).Req
+	}
+	if sum <= 1 {
+		t.Fatalf("first-job requirements sum to %v, must exceed 1", sum)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestPartitionGadgetErrors(t *testing.T) {
+	if _, err := PartitionGadget(nil, 0.01); err == nil {
+		t.Fatalf("empty instance must error")
+	}
+	if _, err := PartitionGadget([]int64{1, 2}, 0.01); err == nil {
+		t.Fatalf("odd sum must error")
+	}
+	if _, err := PartitionGadget([]int64{2, 2}, 0.9); err == nil {
+		t.Fatalf("eps >= 1/n must error")
+	}
+	if _, err := PartitionGadget([]int64{2, -2}, 0.1); err == nil {
+		t.Fatalf("non-positive elements must error")
+	}
+}
+
+func TestRandomGeneratorsShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst := Random(rng, 4, 6, 0.1, 0.9)
+	if inst.NumProcessors() != 4 || inst.TotalJobs() != 24 {
+		t.Fatalf("unexpected Random shape")
+	}
+	for i := 0; i < 4; i++ {
+		for _, j := range inst.Jobs(i) {
+			if j.Req < 0.1-1e-12 || j.Req > 0.9+1e-12 {
+				t.Fatalf("requirement %v outside [0.1, 0.9]", j.Req)
+			}
+		}
+	}
+	uneven := RandomUneven(rng, 5, 2, 7, 0.1, 1.0)
+	for i := 0; i < 5; i++ {
+		if n := uneven.NumJobs(i); n < 2 || n > 7 {
+			t.Fatalf("uneven job count %d outside [2,7]", n)
+		}
+	}
+	bimodal := RandomBimodal(rng, 3, 50, 0.5)
+	heavy, light := 0, 0
+	for i := 0; i < 3; i++ {
+		for _, j := range bimodal.Jobs(i) {
+			if j.Req >= 0.7 {
+				heavy++
+			} else {
+				light++
+			}
+		}
+	}
+	if heavy == 0 || light == 0 {
+		t.Fatalf("bimodal generator should produce both modes, got %d heavy / %d light", heavy, light)
+	}
+	sized := RandomSized(rng, 2, 3, 0.1, 0.9, 4)
+	if sized.IsUnitSize() {
+		t.Fatalf("RandomSized should produce non-unit sizes")
+	}
+	if err := sized.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRandomGeneratorsDeterministic(t *testing.T) {
+	a := Random(rand.New(rand.NewSource(123)), 3, 5, 0.1, 0.9)
+	b := Random(rand.New(rand.NewSource(123)), 3, 5, 0.1, 0.9)
+	if !a.Equal(b) {
+		t.Fatalf("same seed must reproduce the same instance")
+	}
+}

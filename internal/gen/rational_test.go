@@ -1,0 +1,182 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"crsharing/internal/numeric"
+)
+
+// These tests rebuild the paper's adversarial constructions in exact rational
+// arithmetic and compare them against the float64 generators, so that the
+// structural identities the proofs rely on (diagonal sums of exactly one,
+// first-job sums strictly above one) are verified without rounding error.
+
+// rationalGreedyWorstCase mirrors gen.GreedyWorstCase with numeric.Rat
+// arithmetic. eps is given as a rational 1/epsDen.
+func rationalGreedyWorstCase(m, blocks int, epsDen int64) [][]numeric.Rat {
+	eps := numeric.NewRat(1, epsDen)
+	one := numeric.RatFromInt(1)
+	rows := make([][]numeric.Rat, m)
+
+	appendBlock := func(first []numeric.Rat) {
+		secondTop := eps
+		for _, r := range first {
+			secondTop = secondTop.Add(one.Sub(r))
+		}
+		for i := 0; i < m; i++ {
+			rows[i] = append(rows[i], first[i])
+		}
+		for i := 0; i < m; i++ {
+			if i == 0 {
+				rows[i] = append(rows[i], secondTop)
+			} else {
+				rows[i] = append(rows[i], eps)
+			}
+		}
+		for col := 2; col < m; col++ {
+			for i := 0; i < m; i++ {
+				rows[i] = append(rows[i], eps)
+			}
+		}
+	}
+
+	first := make([]numeric.Rat, m)
+	for i := 0; i < m; i++ {
+		first[i] = one.Sub(numeric.RatFromInt(int64(i + 1)).Mul(eps))
+	}
+	for b := 0; b < blocks; b++ {
+		appendBlock(first)
+		cols := len(rows[0])
+		next := make([]numeric.Rat, m)
+		for i := 0; i < m-1; i++ {
+			next[i] = one.Sub(numeric.RatFromInt(int64(m - 1)).Mul(eps))
+		}
+		diag := numeric.RatFromInt(0)
+		for ip := 1; ip <= m-1; ip++ {
+			diag = diag.Add(rows[m-ip-1][cols-ip])
+		}
+		next[m-1] = one.Sub(diag)
+		first = next
+	}
+	return rows
+}
+
+func TestGreedyWorstCaseMatchesRationalConstruction(t *testing.T) {
+	for _, m := range []int{2, 3, 4} {
+		epsDen := int64(20 * m * (m + 1))
+		blocks := 5
+		floatInst := GreedyWorstCase(m, blocks, 1.0/float64(epsDen))
+		ratRows := rationalGreedyWorstCase(m, blocks, epsDen)
+		if floatInst.NumJobs(0) != blocks*m {
+			t.Fatalf("m=%d: float construction truncated unexpectedly", m)
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < blocks*m; j++ {
+				want := ratRows[i][j].Float()
+				got := floatInst.Job(i, j).Req
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("m=%d r[%d][%d]: float %v vs rational %v", m, i+1, j+1, got, want)
+				}
+				// The construction must stay within (0, 1] exactly.
+				if ratRows[i][j].Cmp(numeric.RatFromInt(0)) <= 0 || ratRows[i][j].Cmp(numeric.RatFromInt(1)) > 0 {
+					t.Fatalf("m=%d r[%d][%d] = %v outside (0,1]", m, i+1, j+1, ratRows[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestGreedyWorstCaseDiagonalsAreExactlyOne(t *testing.T) {
+	// The proof of Theorem 8 needs the down-right diagonals to sum to exactly
+	// one; verify this in exact arithmetic where floats could hide an error.
+	m := 3
+	blocks := 6
+	epsDen := int64(200)
+	rows := rationalGreedyWorstCase(m, blocks, epsDen)
+	one := numeric.RatFromInt(1)
+	cols := blocks * m
+	for j := m; j < cols; j++ {
+		sum := numeric.RatFromInt(0)
+		for i := 0; i < m; i++ {
+			sum = sum.Add(rows[m-1-i][j-i])
+		}
+		if sum.Cmp(one) != 0 {
+			t.Fatalf("diagonal ending at column %d sums to %v, want exactly 1", j+1, sum)
+		}
+	}
+}
+
+func TestPartitionGadgetRationalProperties(t *testing.T) {
+	// Rebuild the Theorem 4 gadget with rational arithmetic: ã_i = a_i/(A+δ)
+	// with δ = n·ε, ε = 1/epsDen. The reduction's two load-bearing facts are
+	// checked exactly:
+	//   (1) Σ ã_i = 2A/(A+δ) > 1, so the first jobs cannot all finish in one
+	//       step, and
+	//   (2) for any subset S with Σ_{i∈S} a_i ≥ A+1 we have
+	//       Σ_{i∈S} ã_i > 1, the inequality used for NO-instances.
+	elems := []int64{3, 1, 2, 2}
+	n := int64(len(elems))
+	epsDen := int64(100)
+	var total int64
+	for _, a := range elems {
+		total += a
+	}
+	a := numeric.NewRat(total, 2)
+	delta := numeric.NewRat(n, epsDen)
+	den := a.Add(delta)
+
+	sumAll := numeric.RatFromInt(0)
+	for _, ai := range elems {
+		sumAll = sumAll.Add(numeric.RatFromInt(ai).Div(den))
+	}
+	if sumAll.Cmp(numeric.RatFromInt(1)) <= 0 {
+		t.Fatalf("Σ ã_i = %v must exceed 1", sumAll)
+	}
+
+	// Subset {3, 2} has weight 5 = A+1: its scaled sum must exceed 1.
+	subset := numeric.RatFromInt(3).Add(numeric.RatFromInt(2)).Div(den)
+	if subset.Cmp(numeric.RatFromInt(1)) <= 0 {
+		t.Fatalf("subset of weight A+1 maps to %v, must exceed 1", subset)
+	}
+	// Subset {3, 1} has weight 4 = A: its scaled sum must be at most 1 (this
+	// is what makes YES-instances schedulable in 4 steps).
+	half := numeric.RatFromInt(3).Add(numeric.RatFromInt(1)).Div(den)
+	if half.Cmp(numeric.RatFromInt(1)) > 0 {
+		t.Fatalf("subset of weight A maps to %v, must be at most 1", half)
+	}
+
+	// And the float generator agrees with the rational values.
+	inst, err := PartitionGadget(elems, 1.0/float64(epsDen))
+	if err != nil {
+		t.Fatalf("PartitionGadget: %v", err)
+	}
+	for i, ai := range elems {
+		want := numeric.RatFromInt(ai).Div(den).Float()
+		if math.Abs(inst.Job(i, 0).Req-want) > 1e-12 {
+			t.Fatalf("ã_%d: float %v vs rational %v", i+1, inst.Job(i, 0).Req, want)
+		}
+	}
+}
+
+func TestFigure3RationalPairSums(t *testing.T) {
+	// Every pair (r_1j, r_2j) of the Figure 3 construction sums to exactly
+	// 1 + 1/n; in rationals: j/n + (n+1-j)/n = (n+1)/n.
+	n := int64(100)
+	expect := numeric.NewRat(n+1, n)
+	for j := int64(1); j <= n; j++ {
+		sum := numeric.NewRat(j, n).Add(numeric.NewRat(n+1-j, n))
+		if sum.Cmp(expect) != 0 {
+			t.Fatalf("pair %d sums to %v, want %v", j, sum, expect)
+		}
+	}
+	// The diagonal pairing used by the optimal schedule sums to exactly 1:
+	// r_1,j + r_2,j+1 = j/n + (n-j)/n = 1.
+	one := numeric.RatFromInt(1)
+	for j := int64(1); j < n; j++ {
+		sum := numeric.NewRat(j, n).Add(numeric.NewRat(n-j, n))
+		if sum.Cmp(one) != 0 {
+			t.Fatalf("diagonal pair %d sums to %v, want 1", j, sum)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+// Package hypergraph implements the scheduling (hyper)graph representation of
+// Section 3.2 of the paper. For a schedule S on an instance with unit size
+// jobs, the graph H_S has one weighted node per job (weight = resource
+// requirement) and one hyperedge per time step containing the jobs active at
+// that step. The connected components of H_S, their classes and edge counts
+// carry the structural information used by the lower bounds of Section 8
+// (Lemmas 2, 5 and 6).
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crsharing/internal/core"
+)
+
+// Node is a job of the instance together with its weight (resource
+// requirement).
+type Node struct {
+	ID     core.JobID
+	Weight float64
+}
+
+// Edge is the hyperedge e_t of one time step: the set of jobs active at the
+// start of that step. Step is zero-based.
+type Edge struct {
+	Step int
+	Jobs []core.JobID
+}
+
+// Size returns |e_t|, the number of active jobs in the step.
+func (e Edge) Size() int { return len(e.Jobs) }
+
+// Component is a connected component C_k of the scheduling graph. Components
+// are ordered left to right, i.e. by the time steps of their edges
+// (Observation 2 guarantees each component spans consecutive steps).
+type Component struct {
+	// Index is k, the zero-based position in the left-to-right order.
+	Index int
+	// Nodes are the jobs of the component.
+	Nodes []core.JobID
+	// FirstStep and LastStep delimit the consecutive steps whose edges belong
+	// to the component (zero-based, inclusive).
+	FirstStep int
+	LastStep  int
+	// Class is q_k, the size of the component's first edge (Definition 1).
+	Class int
+}
+
+// EdgeCount returns #_k, the number of edges (time steps) of the component.
+func (c Component) EdgeCount() int { return c.LastStep - c.FirstStep + 1 }
+
+// Size returns |C_k|, the number of nodes of the component.
+func (c Component) Size() int { return len(c.Nodes) }
+
+// Graph is the scheduling hypergraph H_S of a schedule.
+type Graph struct {
+	Nodes      []Node
+	Edges      []Edge
+	Components []Component
+
+	result *core.Result
+}
+
+// Build constructs the scheduling graph of the executed schedule. The
+// schedule must have finished all jobs; otherwise an error is returned, since
+// the graph of a partial schedule is not well defined in the paper's sense.
+func Build(res *core.Result) (*Graph, error) {
+	if !res.Finished() {
+		return nil, fmt.Errorf("hypergraph: schedule does not finish all jobs")
+	}
+	inst := res.Instance()
+	g := &Graph{result: res}
+
+	for i := 0; i < inst.NumProcessors(); i++ {
+		for j := 0; j < inst.NumJobs(i); j++ {
+			g.Nodes = append(g.Nodes, Node{ID: core.JobID{Proc: i, Pos: j}, Weight: inst.Job(i, j).Req})
+		}
+	}
+	for t := 0; t < res.Makespan(); t++ {
+		jobs := res.ActiveJobs(t)
+		if len(jobs) == 0 {
+			// Trailing steps after everything finished carry no edge; steps
+			// before the makespan always have at least one active job.
+			continue
+		}
+		g.Edges = append(g.Edges, Edge{Step: t, Jobs: jobs})
+	}
+	g.buildComponents()
+	return g, nil
+}
+
+// BuildFromSchedule executes the schedule and builds the graph in one call.
+func BuildFromSchedule(inst *core.Instance, s *core.Schedule) (*Graph, error) {
+	res, err := core.Execute(inst, s)
+	if err != nil {
+		return nil, err
+	}
+	return Build(res)
+}
+
+// buildComponents computes connected components with a union-find over the
+// node set, then orders them by their earliest edge (left to right).
+func (g *Graph) buildComponents() {
+	index := make(map[core.JobID]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		index[n.ID] = i
+	}
+	uf := newUnionFind(len(g.Nodes))
+	for _, e := range g.Edges {
+		if len(e.Jobs) == 0 {
+			continue
+		}
+		first := index[e.Jobs[0]]
+		for _, id := range e.Jobs[1:] {
+			uf.union(first, index[id])
+		}
+	}
+
+	// Group edges and nodes by root. Isolated nodes (jobs never active, which
+	// cannot happen for finished schedules but is handled defensively) attach
+	// to no component.
+	type agg struct {
+		nodes     []core.JobID
+		firstStep int
+		lastStep  int
+		class     int
+		hasEdge   bool
+	}
+	groups := make(map[int]*agg)
+	for i, n := range g.Nodes {
+		root := uf.find(i)
+		a := groups[root]
+		if a == nil {
+			a = &agg{firstStep: -1, lastStep: -1}
+			groups[root] = a
+		}
+		a.nodes = append(a.nodes, n.ID)
+	}
+	for _, e := range g.Edges {
+		root := uf.find(index[e.Jobs[0]])
+		a := groups[root]
+		if !a.hasEdge {
+			a.hasEdge = true
+			a.firstStep = e.Step
+			a.lastStep = e.Step
+			a.class = e.Size()
+		} else {
+			if e.Step < a.firstStep {
+				a.firstStep = e.Step
+				a.class = e.Size()
+			}
+			if e.Step > a.lastStep {
+				a.lastStep = e.Step
+			}
+		}
+	}
+
+	var comps []Component
+	for _, a := range groups {
+		if !a.hasEdge {
+			continue
+		}
+		comps = append(comps, Component{
+			Nodes:     a.nodes,
+			FirstStep: a.firstStep,
+			LastStep:  a.lastStep,
+			Class:     a.class,
+		})
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].FirstStep < comps[j].FirstStep })
+	for k := range comps {
+		comps[k].Index = k
+		sortJobIDs(comps[k].Nodes)
+	}
+	g.Components = comps
+}
+
+// NumComponents returns N, the number of connected components.
+func (g *Graph) NumComponents() int { return len(g.Components) }
+
+// Makespan returns the schedule's makespan (= number of edges).
+func (g *Graph) Makespan() int { return g.result.Makespan() }
+
+// Result returns the execution result the graph was built from.
+func (g *Graph) Result() *core.Result { return g.result }
+
+// ComponentOf returns the component containing the given job, or nil if the
+// job belongs to no component (cannot happen for finished schedules).
+func (g *Graph) ComponentOf(id core.JobID) *Component {
+	for k := range g.Components {
+		for _, n := range g.Components[k].Nodes {
+			if n == id {
+				return &g.Components[k]
+			}
+		}
+	}
+	return nil
+}
+
+// CheckObservation2 verifies Observation 2: for every component, the steps of
+// its edges form a consecutive interval. Build constructs components that way
+// by definition of FirstStep/LastStep, so this check additionally confirms
+// that no edge of a *different* component falls inside the interval.
+func (g *Graph) CheckObservation2() error {
+	for _, c := range g.Components {
+		for _, e := range g.Edges {
+			inInterval := e.Step >= c.FirstStep && e.Step <= c.LastStep
+			inComponent := g.edgeInComponent(e, c)
+			if inInterval && !inComponent {
+				return fmt.Errorf("hypergraph: Observation 2 violated: edge at step %d lies inside component %d's interval but belongs to another component", e.Step+1, c.Index+1)
+			}
+			if !inInterval && inComponent {
+				return fmt.Errorf("hypergraph: Observation 2 violated: edge at step %d belongs to component %d but lies outside its interval", e.Step+1, c.Index+1)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Graph) edgeInComponent(e Edge, c Component) bool {
+	if len(e.Jobs) == 0 {
+		return false
+	}
+	for _, n := range c.Nodes {
+		if n == e.Jobs[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckLemma2 verifies Lemma 2 for a non-wasting, progressive, balanced
+// schedule: |C_k| ≥ #_k + q_k − 1 for all but the last component, and
+// |C_N| ≥ #_N for the last one.
+func (g *Graph) CheckLemma2() error {
+	n := len(g.Components)
+	for k, c := range g.Components {
+		if k < n-1 {
+			if c.Size() < c.EdgeCount()+c.Class-1 {
+				return fmt.Errorf("hypergraph: Lemma 2(a) violated for component %d: |C_k|=%d < #_k+q_k-1=%d",
+					k+1, c.Size(), c.EdgeCount()+c.Class-1)
+			}
+		} else {
+			if c.Size() < c.EdgeCount() {
+				return fmt.Errorf("hypergraph: Lemma 2(b) violated for last component: |C_N|=%d < #_N=%d",
+					c.Size(), c.EdgeCount())
+			}
+		}
+	}
+	return nil
+}
+
+// Lemma5Bound returns Σ_k (#_k − 1), the lower bound on OPT from Lemma 5
+// (valid when the underlying schedule is non-wasting).
+func (g *Graph) Lemma5Bound() int {
+	sum := 0
+	for _, c := range g.Components {
+		sum += c.EdgeCount() - 1
+	}
+	return sum
+}
+
+// Lemma6Bound returns Σ_{k<N} |C_k|/q_k + |C_N|/m, the lower bound on OPT
+// (and on n) from Lemma 6 (valid when the underlying schedule is balanced).
+func (g *Graph) Lemma6Bound() float64 {
+	m := g.result.NumProcessors()
+	n := len(g.Components)
+	var sum float64
+	for k, c := range g.Components {
+		if k < n-1 {
+			sum += float64(c.Size()) / float64(c.Class)
+		} else {
+			sum += float64(c.Size()) / float64(m)
+		}
+	}
+	return sum
+}
+
+// AverageEdges returns #∅ = (Σ_k #_k) / N, the average number of edges per
+// component used in the proof of Theorem 7.
+func (g *Graph) AverageEdges() float64 {
+	if len(g.Components) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range g.Components {
+		total += c.EdgeCount()
+	}
+	return float64(total) / float64(len(g.Components))
+}
+
+// String renders a textual summary of the graph: one line per component with
+// its class, edge count and node count.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheduling graph: %d nodes, %d edges, %d components\n", len(g.Nodes), len(g.Edges), len(g.Components))
+	for _, c := range g.Components {
+		fmt.Fprintf(&b, "  C%d: steps %d-%d, #=%d, q=%d, |C|=%d\n",
+			c.Index+1, c.FirstStep+1, c.LastStep+1, c.EdgeCount(), c.Class, c.Size())
+	}
+	return b.String()
+}
+
+// DOT renders the hypergraph in Graphviz DOT format: jobs as nodes laid out
+// per processor, each hyperedge as a labelled box connected to its jobs. This
+// is a convenience for inspecting small instances such as the paper's
+// Figure 1.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph HS {\n  rankdir=LR;\n  node [shape=circle];\n")
+	for _, n := range g.Nodes {
+		b.WriteString(fmt.Sprintf("  %q [label=\"%d\"];\n", n.ID.String(), int(n.Weight*100+0.5)))
+	}
+	for _, e := range g.Edges {
+		name := fmt.Sprintf("e%d", e.Step+1)
+		b.WriteString(fmt.Sprintf("  %q [shape=box,label=%q];\n", name, name))
+		for _, id := range e.Jobs {
+			b.WriteString(fmt.Sprintf("  %q -- %q;\n", name, id.String()))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sortJobIDs(ids []core.JobID) {
+	sort.Slice(ids, func(a, b int) bool {
+		if ids[a].Proc != ids[b].Proc {
+			return ids[a].Proc < ids[b].Proc
+		}
+		return ids[a].Pos < ids[b].Pos
+	})
+}
+
+// unionFind is a minimal union-find with path compression and union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}

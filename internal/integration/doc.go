@@ -1,0 +1,6 @@
+// Package integration holds cross-module integration tests: end-to-end flows
+// from synthetic traces through the simulator and the model converters to the
+// offline algorithms, consistency checks across all exact solvers, and the
+// JSON interchange used by the command-line tools. The package intentionally
+// contains no production code.
+package integration

@@ -1,0 +1,328 @@
+package manycore
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metrics summarises a simulation run.
+type Metrics struct {
+	// Policy is the name of the policy that produced the run.
+	Policy string
+	// Ticks is the number of ticks until every task finished (the makespan).
+	Ticks int
+	// CoreFinish[c] is the tick at which core c finished its queue (0 for
+	// cores with empty queues).
+	CoreFinish []int
+	// TaskFinish maps task names to their completion tick.
+	TaskFinish map[string]int
+	// Busbusy is the total bandwidth-time actually consumed by progressing
+	// phases.
+	BusBusy float64
+	// BusWasted is the bandwidth-time granted to cores but not converted into
+	// progress (over-provisioned or granted to idle cores).
+	BusWasted float64
+	// BusIdle is the bandwidth-time left unallocated while at least one core
+	// still had work.
+	BusIdle float64
+	// StallTicks is the total number of core-ticks in which an active core
+	// progressed at less than half of full speed (a coarse responsiveness
+	// indicator).
+	StallTicks int
+	// IOPhaseTicks and ComputePhaseTicks count core-ticks spent in phases of
+	// each kind.
+	IOPhaseTicks      int
+	ComputePhaseTicks int
+	// LowerBound is the simple lower bound on the achievable makespan:
+	// max(total work / capacity, longest per-core volume).
+	LowerBound float64
+}
+
+// Utilization returns the fraction of the bus capacity converted into
+// progress over the run.
+func (m *Metrics) Utilization() float64 {
+	if m.Ticks == 0 {
+		return 0
+	}
+	return m.BusBusy / (float64(m.Ticks))
+}
+
+// RatioToLowerBound returns Ticks divided by the lower bound (≥ 1 up to
+// rounding), the simulator's analogue of an approximation ratio.
+func (m *Metrics) RatioToLowerBound() float64 {
+	if m.LowerBound <= 0 {
+		return 1
+	}
+	return float64(m.Ticks) / m.LowerBound
+}
+
+// String renders a one-line summary.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("%s: %d ticks (%.2fx LB), util %.1f%%, wasted %.1f, idle %.1f, stalls %d",
+		m.Policy, m.Ticks, m.RatioToLowerBound(), 100*m.Utilization(), m.BusWasted, m.BusIdle, m.StallTicks)
+}
+
+// Engine runs workloads on a machine under a policy.
+type Engine struct {
+	machine *Machine
+	// MaxTicks caps the simulation length as a safety valve against policies
+	// that starve a core forever; Run returns an error when the cap is hit.
+	MaxTicks int
+	// recorder, when attached via SetRecorder, captures per-tick shares and
+	// progress for visualisation.
+	recorder *Recorder
+}
+
+// NewEngine returns an engine for the machine with a generous default tick
+// cap derived from the workload at run time.
+func NewEngine(machine *Machine) *Engine {
+	return &Engine{machine: machine}
+}
+
+// coreRuntime is the engine's private per-core progress state.
+type coreRuntime struct {
+	queue     []*Task
+	taskIdx   int
+	phaseIdx  int
+	remVolume float64 // remaining volume of the current phase
+	finish    int     // tick the core finished (valid once idle)
+}
+
+func (c *coreRuntime) active() bool { return c.taskIdx < len(c.queue) }
+
+func (c *coreRuntime) phase() Phase { return c.queue[c.taskIdx].Phases[c.phaseIdx] }
+
+// remainingTaskVolume returns the remaining volume of the current task.
+func (c *coreRuntime) remainingTaskVolume() float64 {
+	if !c.active() {
+		return 0
+	}
+	v := c.remVolume
+	for p := c.phaseIdx + 1; p < len(c.queue[c.taskIdx].Phases); p++ {
+		v += c.queue[c.taskIdx].Phases[p].Volume
+	}
+	return v
+}
+
+// remainingQueueVolume returns the remaining volume across the whole queue.
+func (c *coreRuntime) remainingQueueVolume() float64 {
+	if !c.active() {
+		return 0
+	}
+	v := c.remainingTaskVolume()
+	for t := c.taskIdx + 1; t < len(c.queue); t++ {
+		v += c.queue[t].TotalVolume()
+	}
+	return v
+}
+
+// remainingPhases counts unfinished phases across the queue.
+func (c *coreRuntime) remainingPhases() int {
+	if !c.active() {
+		return 0
+	}
+	n := len(c.queue[c.taskIdx].Phases) - c.phaseIdx
+	for t := c.taskIdx + 1; t < len(c.queue); t++ {
+		n += len(c.queue[t].Phases)
+	}
+	return n
+}
+
+// Run simulates the workload to completion under the policy and returns the
+// collected metrics.
+func (e *Engine) Run(w *Workload, policy Policy) (*Metrics, error) {
+	if err := e.machine.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if w.Cores() != e.machine.Cores {
+		return nil, fmt.Errorf("manycore: workload covers %d cores, machine has %d", w.Cores(), e.machine.Cores)
+	}
+
+	cores := make([]*coreRuntime, e.machine.Cores)
+	for c := range cores {
+		cores[c] = &coreRuntime{queue: w.Queues[c]}
+		if cores[c].active() {
+			cores[c].remVolume = cores[c].phase().Volume
+		}
+	}
+
+	maxTicks := e.MaxTicks
+	if maxTicks <= 0 {
+		// Worst case: a single core makes progress at a time and every phase
+		// crawls at the smallest representable useful speed the policies
+		// produce; volume/capacity plus per-phase rounding is a safe bound.
+		maxTicks = int(math.Ceil(w.TotalVolume()))*4 + int(math.Ceil(w.TotalWork()/e.machine.Bandwidth))*4 + w.NumTasks()*4 + 64
+	}
+
+	metrics := &Metrics{
+		Policy:     policy.Name(),
+		CoreFinish: make([]int, e.machine.Cores),
+		TaskFinish: make(map[string]int),
+		LowerBound: math.Max(w.TotalWork()/e.machine.Bandwidth, w.MaxQueueVolume()),
+	}
+
+	for tick := 0; ; tick++ {
+		allDone := true
+		for _, c := range cores {
+			if c.active() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			metrics.Ticks = tick
+			// Clamp floating-point dust so reports never show "-0.0".
+			if metrics.BusWasted < 0 && metrics.BusWasted > -1e-6 {
+				metrics.BusWasted = 0
+			}
+			if metrics.BusIdle < 0 && metrics.BusIdle > -1e-6 {
+				metrics.BusIdle = 0
+			}
+			return metrics, nil
+		}
+		if tick >= maxTicks {
+			return nil, fmt.Errorf("manycore: simulation exceeded %d ticks under policy %q (starvation?)", maxTicks, policy.Name())
+		}
+
+		state := e.snapshot(tick, cores)
+		shares := policy.Allocate(state)
+		if len(shares) < len(cores) {
+			padded := make([]float64, len(cores))
+			copy(padded, shares)
+			shares = padded
+		}
+		e.applyTick(tick, cores, state, shares, metrics)
+	}
+}
+
+// snapshot builds the policy-visible state.
+func (e *Engine) snapshot(tick int, cores []*coreRuntime) *State {
+	s := &State{Tick: tick, Capacity: e.machine.Bandwidth, Cores: make([]CoreState, len(cores))}
+	for i, c := range cores {
+		cs := CoreState{Core: i, PhaseIndex: -1}
+		if c.active() {
+			ph := c.phase()
+			cs.Active = true
+			cs.TaskName = c.queue[c.taskIdx].Name
+			cs.PhaseIndex = c.phaseIdx
+			cs.PhaseKind = ph.Kind
+			cs.Requirement = ph.Bandwidth
+			cs.Demand = math.Min(ph.Bandwidth, ph.Bandwidth*c.remVolume)
+			if ph.Bandwidth == 0 {
+				cs.Demand = 0
+			}
+			cs.RemainingPhaseVolume = c.remVolume
+			cs.RemainingTaskVolume = c.remainingTaskVolume()
+			cs.RemainingQueueVolume = c.remainingQueueVolume()
+			cs.QueuedTasks = len(c.queue) - c.taskIdx - 1
+			cs.RemainingPhases = c.remainingPhases()
+		}
+		s.Cores[i] = cs
+	}
+	return s
+}
+
+// applyTick advances every core by one tick given the granted shares, and
+// accounts the bus usage.
+func (e *Engine) applyTick(tick int, cores []*coreRuntime, state *State, shares []float64, m *Metrics) {
+	var rec *TickRecord
+	if e.recorder != nil {
+		rec = &TickRecord{
+			Tick:     tick,
+			Share:    make([]float64, len(cores)),
+			Progress: make([]float64, len(cores)),
+			Phase:    make([]int, len(cores)),
+			Task:     make([]string, len(cores)),
+		}
+		for i := range rec.Phase {
+			rec.Phase[i] = -1
+		}
+	}
+	var granted, used float64
+	for i, c := range cores {
+		share := shares[i]
+		if share < 0 {
+			share = 0
+		}
+		granted += share
+		if rec != nil {
+			rec.Share[i] = share
+		}
+		if !c.active() {
+			m.BusWasted += share
+			continue
+		}
+		ph := c.phase()
+		// Speed in [0,1]: fraction of full speed achieved this tick.
+		speed := 1.0
+		if ph.Bandwidth > 0 {
+			speed = math.Min(share/ph.Bandwidth, 1)
+		}
+		progress := math.Min(speed, c.remVolume)
+		consumed := progress * ph.Bandwidth
+		used += consumed
+		m.BusWasted += share - consumed
+		if ph.Kind == PhaseIO {
+			m.IOPhaseTicks++
+		} else {
+			m.ComputePhaseTicks++
+		}
+		if progress < 0.5 && progress < c.remVolume-1e-9 {
+			// The core ran at under half speed and the slowdown was not just
+			// the natural tail of a nearly finished phase.
+			m.StallTicks++
+		}
+		if rec != nil {
+			rec.Progress[i] = progress
+			rec.Phase[i] = c.phaseIdx
+			rec.Task[i] = c.queue[c.taskIdx].Name
+		}
+		c.remVolume -= progress
+		if c.remVolume <= 1e-9 {
+			// Phase finished; advance to the next phase or task.
+			c.phaseIdx++
+			if c.phaseIdx >= len(c.queue[c.taskIdx].Phases) {
+				m.TaskFinish[c.queue[c.taskIdx].Name] = tick + 1
+				c.taskIdx++
+				c.phaseIdx = 0
+			}
+			if c.active() {
+				c.remVolume = c.phase().Volume
+			} else {
+				c.finish = tick + 1
+				m.CoreFinish[i] = tick + 1
+			}
+		}
+	}
+	if rec != nil {
+		e.recorder.record(*rec)
+	}
+	m.BusBusy += used
+	if granted > e.machine.Bandwidth+1e-6 {
+		// Policies are trusted not to overcommit, but keep the accounting
+		// sane if one does: scale the recorded waste so totals still add up.
+		granted = e.machine.Bandwidth
+	}
+	idle := e.machine.Bandwidth - granted
+	if idle > 0 {
+		m.BusIdle += idle
+	}
+}
+
+// Compare runs the same workload under several policies and returns the
+// metrics in the given order. Each policy sees an identical fresh copy of the
+// workload.
+func Compare(machine *Machine, w *Workload, policies ...Policy) ([]*Metrics, error) {
+	var out []*Metrics
+	for _, p := range policies {
+		m, err := NewEngine(machine).Run(w.Clone(), p)
+		if err != nil {
+			return nil, fmt.Errorf("policy %q: %w", p.Name(), err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

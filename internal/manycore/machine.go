@@ -1,0 +1,100 @@
+package manycore
+
+import "fmt"
+
+// Machine describes the simulated hardware: a number of identical fixed-speed
+// cores sharing one bandwidth channel (memory bus, NoC uplink, or storage
+// link — the paper's "single data bus to the outside world").
+type Machine struct {
+	// Cores is the number of processing cores.
+	Cores int
+	// Bandwidth is the capacity of the shared channel per tick. Phase
+	// bandwidth requirements are expressed as fractions of this capacity, so
+	// the default of 1.0 treats requirements as absolute shares; a different
+	// value scales the whole system (for example to model a degraded link).
+	Bandwidth float64
+}
+
+// NewMachine returns a machine with the given core count and unit bandwidth.
+func NewMachine(cores int) *Machine {
+	return &Machine{Cores: cores, Bandwidth: 1.0}
+}
+
+// Validate checks the machine parameters.
+func (m *Machine) Validate() error {
+	if m == nil {
+		return fmt.Errorf("manycore: nil machine")
+	}
+	if m.Cores < 1 {
+		return fmt.Errorf("manycore: machine needs at least one core, got %d", m.Cores)
+	}
+	if m.Bandwidth <= 0 {
+		return fmt.Errorf("manycore: bandwidth capacity must be positive, got %v", m.Bandwidth)
+	}
+	return nil
+}
+
+// CoreState is the externally visible per-core state a policy sees when
+// deciding a tick's bandwidth split.
+type CoreState struct {
+	// Core is the core index.
+	Core int
+	// Active reports whether the core currently has an unfinished task.
+	Active bool
+	// TaskName is the name of the running task ("" when idle).
+	TaskName string
+	// PhaseIndex is the index of the running phase within its task (-1 when
+	// idle).
+	PhaseIndex int
+	// PhaseKind is the running phase's kind.
+	PhaseKind PhaseKind
+	// Demand is the bandwidth share the phase can usefully absorb this tick:
+	// min(requirement, remaining work). Zero for idle cores.
+	Demand float64
+	// Requirement is the phase's full bandwidth requirement (zero when idle).
+	Requirement float64
+	// RemainingPhaseVolume is the remaining volume of the running phase.
+	RemainingPhaseVolume float64
+	// RemainingTaskVolume is the remaining volume of the running task
+	// (including the running phase).
+	RemainingTaskVolume float64
+	// RemainingQueueVolume is the total remaining volume on the core's queue
+	// (running task plus queued tasks).
+	RemainingQueueVolume float64
+	// QueuedTasks is the number of tasks that have not yet started on this
+	// core (excluding the running one).
+	QueuedTasks int
+	// RemainingPhases is the number of phases not yet finished across the
+	// whole queue (including the running phase).
+	RemainingPhases int
+}
+
+// State is the snapshot handed to a policy at the start of every tick.
+type State struct {
+	// Tick is the zero-based tick number.
+	Tick int
+	// Capacity is the machine's bandwidth capacity.
+	Capacity float64
+	// Cores holds one entry per core.
+	Cores []CoreState
+}
+
+// TotalDemand returns the sum of all cores' useful demand this tick.
+func (s *State) TotalDemand() float64 {
+	var d float64
+	for _, c := range s.Cores {
+		d += c.Demand
+	}
+	return d
+}
+
+// ActiveCores returns the indices of cores that still have work.
+func (s *State) ActiveCores() []int {
+	var out []int
+	for _, c := range s.Cores {
+		if c.Active {
+			out = append(out, c.Core)
+		}
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package manycore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ioPhase(bw, vol float64) Phase { return Phase{Kind: PhaseIO, Bandwidth: bw, Volume: vol} }
+func computePhase(bw, vol float64) Phase {
+	return Phase{Kind: PhaseCompute, Bandwidth: bw, Volume: vol}
+}
+
+func singleTaskWorkload(cores int, tasks ...*Task) *Workload {
+	w := NewWorkload(cores)
+	for i, t := range tasks {
+		w.Assign(i, t)
+	}
+	return w
+}
+
+func TestPhaseAndTaskValidation(t *testing.T) {
+	if err := ioPhase(0.5, 2).Validate(); err != nil {
+		t.Fatalf("valid phase rejected: %v", err)
+	}
+	if err := ioPhase(1.5, 2).Validate(); err == nil {
+		t.Fatalf("bandwidth > 1 must be rejected")
+	}
+	if err := ioPhase(0.5, 0).Validate(); err == nil {
+		t.Fatalf("zero volume must be rejected")
+	}
+	if err := NewTask("t").Validate(); err == nil {
+		t.Fatalf("task without phases must be rejected")
+	}
+	task := NewTask("t", ioPhase(0.5, 2), computePhase(0.1, 1))
+	if err := task.Validate(); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+	if !almostEq(task.TotalVolume(), 3) || !almostEq(task.TotalWork(), 1.1) {
+		t.Fatalf("task totals wrong: volume=%v work=%v", task.TotalVolume(), task.TotalWork())
+	}
+	if PhaseIO.String() != "io" || PhaseCompute.String() != "compute" {
+		t.Fatalf("phase kind rendering broken")
+	}
+}
+
+func TestWorkloadAccounting(t *testing.T) {
+	w := NewWorkload(2)
+	w.AssignRoundRobin([]*Task{
+		NewTask("a", ioPhase(0.5, 2)),
+		NewTask("b", ioPhase(0.25, 4)),
+		NewTask("c", ioPhase(1, 1)),
+	})
+	if w.NumTasks() != 3 || w.Cores() != 2 {
+		t.Fatalf("workload shape wrong")
+	}
+	if len(w.Queues[0]) != 2 || len(w.Queues[1]) != 1 {
+		t.Fatalf("round robin placement wrong: %d/%d", len(w.Queues[0]), len(w.Queues[1]))
+	}
+	if !almostEq(w.TotalWork(), 3) {
+		t.Fatalf("total work = %v, want 3", w.TotalWork())
+	}
+	if !almostEq(w.TotalVolume(), 7) {
+		t.Fatalf("total volume = %v, want 7", w.TotalVolume())
+	}
+	if !almostEq(w.MaxQueueVolume(), 4) {
+		t.Fatalf("max queue volume = %v, want 4 (core 1 holds task b alone)", w.MaxQueueVolume())
+	}
+	clone := w.Clone()
+	clone.Queues[0][0].Phases[0].Bandwidth = 0.9
+	if w.Queues[0][0].Phases[0].Bandwidth != 0.5 {
+		t.Fatalf("Clone must be deep")
+	}
+}
+
+func TestEngineSingleCoreFullBandwidth(t *testing.T) {
+	// One core, one task with 3 volume units of I/O at bandwidth 0.5: with
+	// the whole bus available it runs at full speed and finishes in 3 ticks.
+	machine := NewMachine(1)
+	w := singleTaskWorkload(1, NewTask("only", ioPhase(0.5, 3)))
+	for _, p := range Policies() {
+		m, err := NewEngine(machine).Run(w.Clone(), p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if m.Ticks != 3 {
+			t.Fatalf("%s: ticks = %d, want 3", p.Name(), m.Ticks)
+		}
+	}
+}
+
+func TestEngineEqualShareStarvesIOHeavyCore(t *testing.T) {
+	// Three cores: one I/O-bound task needing 100% of the bus and two compute
+	// tasks needing none. EqualShare gives the I/O task only a third of the
+	// bus, so it crawls; demand-aware policies give it everything.
+	machine := NewMachine(3)
+	w := singleTaskWorkload(3,
+		NewTask("io", ioPhase(1.0, 4)),
+		NewTask("compute-1", computePhase(0, 4)),
+		NewTask("compute-2", computePhase(0, 4)),
+	)
+	equal, err := NewEngine(machine).Run(w.Clone(), EqualShare{})
+	if err != nil {
+		t.Fatalf("equal: %v", err)
+	}
+	greedy, err := NewEngine(machine).Run(w.Clone(), GreedyBalance{})
+	if err != nil {
+		t.Fatalf("greedy: %v", err)
+	}
+	if equal.Ticks <= greedy.Ticks {
+		t.Fatalf("EqualShare (%d ticks) should be slower than GreedyBalance (%d ticks)", equal.Ticks, greedy.Ticks)
+	}
+	if greedy.Ticks != 4 {
+		t.Fatalf("demand-aware policy should finish in 4 ticks, got %d", greedy.Ticks)
+	}
+	if equal.Ticks < 7 {
+		t.Fatalf("EqualShare should need roughly twice as long, got %d ticks", equal.Ticks)
+	}
+	if equal.StallTicks == 0 {
+		t.Fatalf("EqualShare run should record stalled core-ticks")
+	}
+}
+
+func TestEngineMetricsAccounting(t *testing.T) {
+	machine := NewMachine(2)
+	w := singleTaskWorkload(2,
+		NewTask("a", ioPhase(0.6, 2)),
+		NewTask("b", ioPhase(0.4, 2)),
+	)
+	m, err := NewEngine(machine).Run(w, WaterFill{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Ticks != 2 {
+		t.Fatalf("both tasks fit side by side: want 2 ticks, got %d", m.Ticks)
+	}
+	if !almostEq(m.BusBusy, 2.0) {
+		t.Fatalf("bus busy = %v, want 2.0 (0.6+0.4 per tick for 2 ticks)", m.BusBusy)
+	}
+	if m.Utilization() < 0.99 {
+		t.Fatalf("utilization = %v, want ~1", m.Utilization())
+	}
+	if m.TaskFinish["a"] != 2 || m.TaskFinish["b"] != 2 {
+		t.Fatalf("task finish ticks wrong: %v", m.TaskFinish)
+	}
+	if m.CoreFinish[0] != 2 || m.CoreFinish[1] != 2 {
+		t.Fatalf("core finish ticks wrong: %v", m.CoreFinish)
+	}
+	if m.RatioToLowerBound() < 1-1e-9 {
+		t.Fatalf("ratio to lower bound below 1: %v", m.RatioToLowerBound())
+	}
+	if m.String() == "" {
+		t.Fatalf("metrics must render")
+	}
+}
+
+func TestEngineLowerBoundNeverViolated(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		cores := 2 + rng.Intn(6)
+		machine := NewMachine(cores)
+		w := NewWorkload(cores)
+		var tasks []*Task
+		for i := 0; i < cores+rng.Intn(cores); i++ {
+			var phases []Phase
+			for p := 0; p < 1+rng.Intn(4); p++ {
+				phases = append(phases, Phase{
+					Kind:      PhaseKind(rng.Intn(2)),
+					Bandwidth: 0.05 + rng.Float64()*0.9,
+					Volume:    0.5 + rng.Float64()*3,
+				})
+			}
+			tasks = append(tasks, NewTask("t", phases...))
+		}
+		w.AssignRoundRobin(tasks)
+		for _, p := range Policies() {
+			m, err := NewEngine(machine).Run(w.Clone(), p)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, p.Name(), err)
+			}
+			if float64(m.Ticks) < m.LowerBound-1e-9 {
+				t.Fatalf("trial %d %s: ticks %d below lower bound %v", trial, p.Name(), m.Ticks, m.LowerBound)
+			}
+			if m.BusBusy > float64(m.Ticks)*machine.Bandwidth+1e-6 {
+				t.Fatalf("trial %d %s: bus busy %v exceeds capacity", trial, p.Name(), m.BusBusy)
+			}
+		}
+	}
+}
+
+func TestEngineGreedyBalanceNeverWorseTwiceLowerBound(t *testing.T) {
+	// The simulator analogue of Theorem 7: the greedy-balance policy stays
+	// within a small constant factor of the bandwidth/critical-path lower
+	// bound on random unit-volume workloads.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		cores := 2 + rng.Intn(5)
+		machine := NewMachine(cores)
+		w := NewWorkload(cores)
+		for c := 0; c < cores; c++ {
+			var phases []Phase
+			for p := 0; p < 1+rng.Intn(6); p++ {
+				phases = append(phases, ioPhase(0.05+rng.Float64()*0.95, 1))
+			}
+			w.Assign(c, NewTask("t", phases...))
+		}
+		m, err := NewEngine(machine).Run(w, GreedyBalance{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		limit := 2*m.LowerBound + float64(cores) + 1
+		if float64(m.Ticks) > limit {
+			t.Fatalf("trial %d: greedy-balance %d ticks exceeds 2·LB+m = %v", trial, m.Ticks, limit)
+		}
+	}
+}
+
+func TestEngineRejectsMismatchedShapes(t *testing.T) {
+	machine := NewMachine(2)
+	w := NewWorkload(3)
+	w.Assign(0, NewTask("a", ioPhase(0.5, 1)))
+	w.Assign(1, NewTask("b", ioPhase(0.5, 1)))
+	w.Assign(2, NewTask("c", ioPhase(0.5, 1)))
+	if _, err := NewEngine(machine).Run(w, EqualShare{}); err == nil {
+		t.Fatalf("expected mismatch error")
+	}
+	if _, err := NewEngine(&Machine{Cores: 0, Bandwidth: 1}).Run(NewWorkload(0), EqualShare{}); err == nil {
+		t.Fatalf("expected invalid machine error")
+	}
+}
+
+func TestEngineMaxTicksGuard(t *testing.T) {
+	machine := NewMachine(1)
+	w := singleTaskWorkload(1, NewTask("x", ioPhase(0.5, 100)))
+	e := NewEngine(machine)
+	e.MaxTicks = 5
+	if _, err := e.Run(w, EqualShare{}); err == nil {
+		t.Fatalf("expected max-ticks error")
+	}
+}
+
+func TestCompareRunsIdenticalCopies(t *testing.T) {
+	machine := NewMachine(2)
+	w := singleTaskWorkload(2,
+		NewTask("io", ioPhase(0.9, 3)),
+		NewTask("bg", computePhase(0.05, 3)),
+	)
+	results, err := Compare(machine, w, Policies()...)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(results) != len(Policies()) {
+		t.Fatalf("expected %d results, got %d", len(Policies()), len(results))
+	}
+	for _, m := range results {
+		if m.Ticks < 3 {
+			t.Fatalf("%s finished in %d ticks, impossible (< critical path)", m.Policy, m.Ticks)
+		}
+	}
+	// The original workload must be untouched by the runs.
+	if w.Queues[0][0].Phases[0].Volume != 3 {
+		t.Fatalf("Compare must not mutate the input workload")
+	}
+}
+
+func TestPoliciesNeverOvercommitProperty(t *testing.T) {
+	// Property: on arbitrary states, every built-in policy allocates
+	// non-negative shares totalling at most the capacity (within tolerance)
+	// and never more than a core's demand plus tolerance.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		s := &State{Tick: rng.Intn(100), Capacity: 1, Cores: make([]CoreState, n)}
+		for i := range s.Cores {
+			active := rng.Float64() < 0.8
+			cs := CoreState{Core: i, Active: active, PhaseIndex: -1}
+			if active {
+				req := rng.Float64()
+				rem := rng.Float64() * 4
+				cs.Requirement = req
+				cs.Demand = math.Min(req, req*rem)
+				cs.RemainingPhaseVolume = rem
+				cs.RemainingTaskVolume = rem
+				cs.RemainingQueueVolume = rem + rng.Float64()*4
+				cs.RemainingPhases = 1 + rng.Intn(5)
+				cs.PhaseIndex = rng.Intn(3)
+			}
+			s.Cores[i] = cs
+		}
+		for _, p := range Policies() {
+			shares := p.Allocate(s)
+			if len(shares) != n {
+				return false
+			}
+			var total float64
+			for i, x := range shares {
+				if x < -1e-12 {
+					return false
+				}
+				if !s.Cores[i].Active && x > 1e-12 && p.Name() != "equal-share" && p.Name() != "proportional-share" {
+					// Demand-aware policies never grant bandwidth to idle
+					// cores. (The naive baselines may, which the engine then
+					// accounts as waste.)
+					return false
+				}
+				total += x
+			}
+			if total > s.Capacity+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("property violated: %v", err)
+	}
+}
+
+func TestStateHelpers(t *testing.T) {
+	s := &State{Capacity: 1, Cores: []CoreState{
+		{Core: 0, Active: true, Demand: 0.3},
+		{Core: 1, Active: false},
+		{Core: 2, Active: true, Demand: 0.5},
+	}}
+	if !almostEq(s.TotalDemand(), 0.8) {
+		t.Fatalf("total demand = %v, want 0.8", s.TotalDemand())
+	}
+	act := s.ActiveCores()
+	if len(act) != 2 || act[0] != 0 || act[1] != 2 {
+		t.Fatalf("active cores = %v", act)
+	}
+}
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}

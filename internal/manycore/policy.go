@@ -1,0 +1,217 @@
+package manycore
+
+import (
+	"math"
+	"sort"
+)
+
+// Policy decides, at every tick, how the shared bandwidth is split among the
+// cores. Implementations receive the full per-core state and must return one
+// share per core; the engine clips the result so that it never exceeds the
+// capacity and never exceeds a core's useful demand (so policies cannot
+// accidentally "speed up" phases beyond their requirement).
+type Policy interface {
+	// Name returns a short stable identifier for reports.
+	Name() string
+	// Allocate returns the bandwidth share granted to each core this tick.
+	Allocate(s *State) []float64
+}
+
+// EqualShare splits the capacity equally among all active cores, ignoring
+// their actual demands. It models a hardware arbiter with no knowledge of the
+// software and is the naive baseline of the motivating discussion: cores with
+// compute-bound phases receive bandwidth they cannot use while I/O-bound
+// phases starve.
+type EqualShare struct{}
+
+// Name implements Policy.
+func (EqualShare) Name() string { return "equal-share" }
+
+// Allocate implements Policy.
+func (EqualShare) Allocate(s *State) []float64 {
+	shares := make([]float64, len(s.Cores))
+	active := s.ActiveCores()
+	if len(active) == 0 {
+		return shares
+	}
+	per := s.Capacity / float64(len(active))
+	for _, c := range active {
+		shares[c] = per
+	}
+	return shares
+}
+
+// ProportionalShare splits the capacity proportionally to each core's
+// declared requirement (not its remaining work). It models bandwidth
+// reservation systems that honour declared rates but never redistribute
+// unused headroom within a tick.
+type ProportionalShare struct{}
+
+// Name implements Policy.
+func (ProportionalShare) Name() string { return "proportional-share" }
+
+// Allocate implements Policy.
+func (ProportionalShare) Allocate(s *State) []float64 {
+	shares := make([]float64, len(s.Cores))
+	var total float64
+	for _, c := range s.Cores {
+		if c.Active {
+			total += c.Requirement
+		}
+	}
+	if total <= 0 {
+		return shares
+	}
+	scale := s.Capacity / total
+	if scale > 1 {
+		scale = 1 // no benefit in over-provisioning a phase
+	}
+	for _, c := range s.Cores {
+		if c.Active {
+			shares[c.Core] = c.Requirement * scale
+		}
+	}
+	return shares
+}
+
+// WaterFill serves demands with a water-filling scheme: capacity is divided
+// equally, but headroom left by cores whose demand is below the equal share
+// is redistributed to the others until either every demand is met or the
+// capacity is exhausted. It is the demand-aware "fair" policy.
+type WaterFill struct{}
+
+// Name implements Policy.
+func (WaterFill) Name() string { return "water-fill" }
+
+// Allocate implements Policy.
+func (WaterFill) Allocate(s *State) []float64 {
+	shares := make([]float64, len(s.Cores))
+	remaining := append([]int(nil), s.ActiveCores()...)
+	avail := s.Capacity
+	for avail > 1e-12 && len(remaining) > 0 {
+		per := avail / float64(len(remaining))
+		var next []int
+		for _, c := range remaining {
+			need := s.Cores[c].Demand - shares[c]
+			if need <= per+1e-12 {
+				shares[c] += need
+				avail -= need
+			} else {
+				shares[c] += per
+				avail -= per
+				next = append(next, c)
+			}
+		}
+		if len(next) == len(remaining) {
+			break
+		}
+		remaining = next
+	}
+	return shares
+}
+
+// GreedyBalance is the online analogue of the paper's GreedyBalance
+// algorithm: cores with more remaining volume on their queue are served
+// first, ties broken by larger phase demand; each served core receives its
+// full demand until the capacity runs out. By the paper's Theorem 7 the
+// resulting schedules are within a factor 2 − 1/m of optimal in the unit-size
+// regime.
+type GreedyBalance struct{}
+
+// Name implements Policy.
+func (GreedyBalance) Name() string { return "greedy-balance" }
+
+// Allocate implements Policy.
+func (GreedyBalance) Allocate(s *State) []float64 {
+	shares := make([]float64, len(s.Cores))
+	order := s.ActiveCores()
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := s.Cores[order[a]], s.Cores[order[b]]
+		if ca.RemainingPhases != cb.RemainingPhases {
+			return ca.RemainingPhases > cb.RemainingPhases
+		}
+		if math.Abs(ca.RemainingQueueVolume-cb.RemainingQueueVolume) > 1e-12 {
+			return ca.RemainingQueueVolume > cb.RemainingQueueVolume
+		}
+		if math.Abs(ca.Demand-cb.Demand) > 1e-12 {
+			return ca.Demand > cb.Demand
+		}
+		return ca.Core < cb.Core
+	})
+	avail := s.Capacity
+	for _, c := range order {
+		if avail <= 1e-12 {
+			break
+		}
+		give := math.Min(avail, s.Cores[c].Demand)
+		shares[c] = give
+		avail -= give
+	}
+	return shares
+}
+
+// LongestQueueFirst serves cores in decreasing order of remaining queue
+// volume only (no phase-count balancing), giving each its full demand. It is
+// an ablation between GreedyBalance and pure demand-greedy policies.
+type LongestQueueFirst struct{}
+
+// Name implements Policy.
+func (LongestQueueFirst) Name() string { return "longest-queue-first" }
+
+// Allocate implements Policy.
+func (LongestQueueFirst) Allocate(s *State) []float64 {
+	shares := make([]float64, len(s.Cores))
+	order := s.ActiveCores()
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := s.Cores[order[a]], s.Cores[order[b]]
+		if math.Abs(ca.RemainingQueueVolume-cb.RemainingQueueVolume) > 1e-12 {
+			return ca.RemainingQueueVolume > cb.RemainingQueueVolume
+		}
+		return ca.Core < cb.Core
+	})
+	avail := s.Capacity
+	for _, c := range order {
+		if avail <= 1e-12 {
+			break
+		}
+		give := math.Min(avail, s.Cores[c].Demand)
+		shares[c] = give
+		avail -= give
+	}
+	return shares
+}
+
+// FirstComeFirstServed serves cores in index order, giving each its full
+// demand until the capacity runs out. It models a fixed-priority arbiter.
+type FirstComeFirstServed struct{}
+
+// Name implements Policy.
+func (FirstComeFirstServed) Name() string { return "fcfs" }
+
+// Allocate implements Policy.
+func (FirstComeFirstServed) Allocate(s *State) []float64 {
+	shares := make([]float64, len(s.Cores))
+	avail := s.Capacity
+	for _, c := range s.Cores {
+		if !c.Active || avail <= 1e-12 {
+			continue
+		}
+		give := math.Min(avail, c.Demand)
+		shares[c.Core] = give
+		avail -= give
+	}
+	return shares
+}
+
+// Policies returns one instance of every built-in policy, in a stable order
+// suitable for comparison tables.
+func Policies() []Policy {
+	return []Policy{
+		EqualShare{},
+		ProportionalShare{},
+		WaterFill{},
+		FirstComeFirstServed{},
+		LongestQueueFirst{},
+		GreedyBalance{},
+	}
+}

@@ -1,0 +1,223 @@
+// Package numeric provides small numerical helpers shared across the
+// CRSharing implementation: tolerant floating-point comparisons, compensated
+// summation, and exact rational arithmetic used to verify the paper's
+// hand-built constructions without rounding error.
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the default absolute tolerance used throughout the repository when
+// comparing resource amounts. Resource requirements live in [0, 1] and
+// schedules are at most a few million steps long, so an absolute tolerance is
+// appropriate (relative tolerances misbehave around zero, which is a common
+// and meaningful value here: "no resource assigned").
+const Eps = 1e-9
+
+// Leq reports whether a <= b up to the default tolerance.
+func Leq(a, b float64) bool { return a <= b+Eps }
+
+// Geq reports whether a >= b up to the default tolerance.
+func Geq(a, b float64) bool { return a >= b-Eps }
+
+// Less reports whether a < b by clearly more than the default tolerance.
+func Less(a, b float64) bool { return a < b-Eps }
+
+// Greater reports whether a > b by clearly more than the default tolerance.
+func Greater(a, b float64) bool { return a > b+Eps }
+
+// Eq reports whether a and b are equal up to the default tolerance.
+func Eq(a, b float64) bool { return math.Abs(a-b) <= Eps }
+
+// IsZero reports whether a is zero up to the default tolerance.
+func IsZero(a float64) bool { return math.Abs(a) <= Eps }
+
+// Clamp returns x restricted to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Clamp01 returns x restricted to [0, 1].
+func Clamp01(x float64) float64 { return Clamp(x, 0, 1) }
+
+// Sum returns the compensated (Kahan) sum of xs. Schedules accumulate many
+// small resource shares; compensated summation keeps the feasibility checks
+// stable even for long schedules.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// KahanAdder accumulates a running compensated sum.
+type KahanAdder struct {
+	sum  float64
+	comp float64
+}
+
+// Add folds x into the running sum.
+func (k *KahanAdder) Add(x float64) {
+	y := x - k.comp
+	t := k.sum + y
+	k.comp = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the current compensated sum.
+func (k *KahanAdder) Sum() float64 { return k.sum }
+
+// Rat is an exact rational number with int64 numerator and denominator. It is
+// used by tests and generators to verify the paper's constructions (Theorem 4
+// gadget, Figure 5 blocks) without floating-point drift. Denominators stay
+// small in all uses, so int64 arithmetic suffices; operations panic on
+// overflow rather than silently producing wrong exact values.
+type Rat struct {
+	num int64
+	den int64 // always > 0
+}
+
+// NewRat returns the rational num/den in lowest terms. It panics if den == 0.
+func NewRat(num, den int64) Rat {
+	if den == 0 {
+		panic("numeric: zero denominator")
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd64(abs64(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	return Rat{num: num, den: den}
+}
+
+// RatFromInt returns the rational n/1.
+func RatFromInt(n int64) Rat { return Rat{num: n, den: 1} }
+
+// Num returns the numerator of r (in lowest terms, sign carried here).
+func (r Rat) Num() int64 { return r.num }
+
+// Den returns the (positive) denominator of r in lowest terms.
+func (r Rat) Den() int64 {
+	if r.den == 0 {
+		return 1 // zero value behaves as 0/1
+	}
+	return r.den
+}
+
+func (r Rat) norm() Rat {
+	if r.den == 0 {
+		return Rat{num: 0, den: 1}
+	}
+	return r
+}
+
+// Add returns r + s exactly.
+func (r Rat) Add(s Rat) Rat {
+	r, s = r.norm(), s.norm()
+	num := checkedAdd(checkedMul(r.num, s.den), checkedMul(s.num, r.den))
+	return NewRat(num, checkedMul(r.den, s.den))
+}
+
+// Sub returns r - s exactly.
+func (r Rat) Sub(s Rat) Rat {
+	return r.Add(Rat{num: -s.norm().num, den: s.norm().den})
+}
+
+// Mul returns r * s exactly.
+func (r Rat) Mul(s Rat) Rat {
+	r, s = r.norm(), s.norm()
+	return NewRat(checkedMul(r.num, s.num), checkedMul(r.den, s.den))
+}
+
+// Div returns r / s exactly. It panics if s is zero.
+func (r Rat) Div(s Rat) Rat {
+	s = s.norm()
+	if s.num == 0 {
+		panic("numeric: division by zero rational")
+	}
+	return NewRat(checkedMul(r.norm().num, s.den), checkedMul(r.norm().den, s.num))
+}
+
+// Cmp compares r and s, returning -1, 0, or +1.
+func (r Rat) Cmp(s Rat) int {
+	r, s = r.norm(), s.norm()
+	lhs := checkedMul(r.num, s.den)
+	rhs := checkedMul(s.num, r.den)
+	switch {
+	case lhs < rhs:
+		return -1
+	case lhs > rhs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Float returns the closest float64 to r.
+func (r Rat) Float() float64 {
+	r = r.norm()
+	return float64(r.num) / float64(r.den)
+}
+
+// String renders r as "num/den" (or just "num" for integers).
+func (r Rat) String() string {
+	r = r.norm()
+	if r.den == 1 {
+		return fmt.Sprintf("%d", r.num)
+	}
+	return fmt.Sprintf("%d/%d", r.num, r.den)
+}
+
+// IsZero reports whether r equals zero.
+func (r Rat) IsZero() bool { return r.norm().num == 0 }
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func checkedMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	c := a * b
+	if c/b != a {
+		panic("numeric: int64 overflow in rational arithmetic")
+	}
+	return c
+}
+
+func checkedAdd(a, b int64) int64 {
+	c := a + b
+	if (b > 0 && c < a) || (b < 0 && c > a) {
+		panic("numeric: int64 overflow in rational arithmetic")
+	}
+	return c
+}

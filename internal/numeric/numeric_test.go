@@ -1,0 +1,137 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComparisons(t *testing.T) {
+	if !Leq(1.0, 1.0) || !Leq(1.0, 1.0+Eps/2) || Leq(1.0+10*Eps, 1.0) {
+		t.Fatalf("Leq behaves unexpectedly")
+	}
+	if !Geq(1.0, 1.0) || Geq(1.0, 1.0+10*Eps) {
+		t.Fatalf("Geq behaves unexpectedly")
+	}
+	if Less(1.0, 1.0) || !Less(1.0, 1.1) {
+		t.Fatalf("Less behaves unexpectedly")
+	}
+	if Greater(1.0, 1.0) || !Greater(1.1, 1.0) {
+		t.Fatalf("Greater behaves unexpectedly")
+	}
+	if !Eq(0.1+0.2, 0.3) {
+		t.Fatalf("Eq must absorb floating point noise")
+	}
+	if !IsZero(1e-12) || IsZero(1e-3) {
+		t.Fatalf("IsZero behaves unexpectedly")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(-1, 0, 1) != 0 || Clamp(2, 0, 1) != 1 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatalf("Clamp broken")
+	}
+	if Clamp01(1.5) != 1 || Clamp01(-0.5) != 0 {
+		t.Fatalf("Clamp01 broken")
+	}
+}
+
+func TestKahanSum(t *testing.T) {
+	// Summing many tiny values with a large one: naive summation loses the
+	// tiny contributions, compensated summation keeps them.
+	xs := make([]float64, 0, 10_001)
+	xs = append(xs, 1e8)
+	for i := 0; i < 10_000; i++ {
+		xs = append(xs, 1e-3)
+	}
+	got := Sum(xs)
+	want := 1e8 + 10.0
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	var k KahanAdder
+	for _, x := range xs {
+		k.Add(x)
+	}
+	if math.Abs(k.Sum()-want) > 1e-6 {
+		t.Fatalf("KahanAdder = %v, want %v", k.Sum(), want)
+	}
+}
+
+func TestSumMatchesNaiveOnSmallSlicesProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			clean = append(clean, x)
+		}
+		naive := 0.0
+		for _, x := range clean {
+			naive += x
+		}
+		return math.Abs(Sum(clean)-naive) <= 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("property violated: %v", err)
+	}
+}
+
+func TestRatArithmetic(t *testing.T) {
+	a := NewRat(1, 3)
+	b := NewRat(1, 6)
+	if got := a.Add(b); got.Cmp(NewRat(1, 2)) != 0 {
+		t.Fatalf("1/3 + 1/6 = %v, want 1/2", got)
+	}
+	if got := a.Sub(b); got.Cmp(NewRat(1, 6)) != 0 {
+		t.Fatalf("1/3 - 1/6 = %v, want 1/6", got)
+	}
+	if got := a.Mul(b); got.Cmp(NewRat(1, 18)) != 0 {
+		t.Fatalf("1/3 * 1/6 = %v, want 1/18", got)
+	}
+	if got := a.Div(b); got.Cmp(RatFromInt(2)) != 0 {
+		t.Fatalf("(1/3) / (1/6) = %v, want 2", got)
+	}
+	if NewRat(-2, -4).Cmp(NewRat(1, 2)) != 0 {
+		t.Fatalf("sign normalisation broken")
+	}
+	if NewRat(2, 4).String() != "1/2" || RatFromInt(3).String() != "3" {
+		t.Fatalf("String rendering broken")
+	}
+	if math.Abs(NewRat(1, 4).Float()-0.25) > 1e-15 {
+		t.Fatalf("Float conversion broken")
+	}
+	if !NewRat(0, 5).IsZero() || NewRat(1, 5).IsZero() {
+		t.Fatalf("IsZero broken")
+	}
+	var zero Rat
+	if !zero.IsZero() || zero.Add(NewRat(1, 2)).Cmp(NewRat(1, 2)) != 0 {
+		t.Fatalf("zero value must behave as 0")
+	}
+}
+
+func TestRatPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero denominator", func() { NewRat(1, 0) })
+	mustPanic("division by zero", func() { NewRat(1, 2).Div(RatFromInt(0)) })
+	mustPanic("overflow", func() { NewRat(math.MaxInt64, 1).Mul(RatFromInt(3)) })
+}
+
+func TestRatPropertyAddCommutes(t *testing.T) {
+	f := func(a, b int16, c, d uint8) bool {
+		x := NewRat(int64(a), int64(c)+1)
+		y := NewRat(int64(b), int64(d)+1)
+		return x.Add(y).Cmp(y.Add(x)) == 0 && x.Mul(y).Cmp(y.Mul(x)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatalf("property violated: %v", err)
+	}
+}

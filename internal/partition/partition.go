@@ -1,0 +1,225 @@
+// Package partition implements the Partition problem used as the source of
+// the NP-hardness reduction in Theorem 4 of the paper: given positive
+// integers a_1, ..., a_n with Σ a_i = 2A, decide whether a subset sums to
+// exactly A. The package provides a pseudo-polynomial exact decision
+// procedure (dynamic programming over sums), subset reconstruction, and
+// generators for YES- and NO-instances used by the reduction experiments.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Instance is a Partition instance.
+type Instance struct {
+	Elems []int64
+}
+
+// New returns a Partition instance over the given positive elements.
+func New(elems ...int64) *Instance {
+	return &Instance{Elems: append([]int64(nil), elems...)}
+}
+
+// Sum returns Σ a_i.
+func (in *Instance) Sum() int64 {
+	var s int64
+	for _, a := range in.Elems {
+		s += a
+	}
+	return s
+}
+
+// Validate checks that all elements are positive and the total is even (the
+// Theorem 4 reduction assumes Σ a_i = 2A).
+func (in *Instance) Validate() error {
+	if len(in.Elems) == 0 {
+		return fmt.Errorf("partition: empty instance")
+	}
+	for i, a := range in.Elems {
+		if a <= 0 {
+			return fmt.Errorf("partition: element %d is %d, must be positive", i, a)
+		}
+	}
+	if in.Sum()%2 != 0 {
+		return fmt.Errorf("partition: element sum %d is odd", in.Sum())
+	}
+	return nil
+}
+
+// Target returns A = Σ a_i / 2.
+func (in *Instance) Target() int64 { return in.Sum() / 2 }
+
+// Decide reports whether some subset of the elements sums to exactly A. It
+// runs the standard O(n·A) subset-sum dynamic program.
+func (in *Instance) Decide() (bool, error) {
+	if err := in.Validate(); err != nil {
+		return false, err
+	}
+	target := in.Target()
+	reach := make([]bool, target+1)
+	reach[0] = true
+	for _, a := range in.Elems {
+		if a > target {
+			continue
+		}
+		for s := target; s >= a; s-- {
+			if reach[s-a] {
+				reach[s] = true
+			}
+		}
+	}
+	return reach[target], nil
+}
+
+// Subset returns the indices of a subset summing to exactly A, or nil and
+// false if the instance is a NO-instance.
+func (in *Instance) Subset() ([]int, bool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, false, err
+	}
+	target := in.Target()
+	// Memoised reachability over (prefix length, sum), then the standard
+	// greedy walk back from (n, A) reconstructs one witness subset.
+	type cellKey struct {
+		i int
+		s int64
+	}
+	n := len(in.Elems)
+	reach := make(map[cellKey]bool, n*int(target+1))
+	var can func(i int, s int64) bool
+	can = func(i int, s int64) bool {
+		if s == 0 {
+			return true
+		}
+		if i == 0 || s < 0 {
+			return false
+		}
+		k := cellKey{i, s}
+		if v, ok := reach[k]; ok {
+			return v
+		}
+		v := can(i-1, s) || can(i-1, s-in.Elems[i-1])
+		reach[k] = v
+		return v
+	}
+	if !can(n, target) {
+		return nil, false, nil
+	}
+	var subset []int
+	s := target
+	for i := n; i > 0 && s > 0; i-- {
+		if can(i-1, s) {
+			continue
+		}
+		subset = append(subset, i-1)
+		s -= in.Elems[i-1]
+	}
+	if s != 0 {
+		return nil, false, fmt.Errorf("partition: internal error reconstructing subset")
+	}
+	// Reverse into ascending index order.
+	for l, r := 0, len(subset)-1; l < r; l, r = l+1, r-1 {
+		subset[l], subset[r] = subset[r], subset[l]
+	}
+	return subset, true, nil
+}
+
+// RandomYes draws a YES-instance with n elements (n ≥ 2): it first draws a
+// subset of size n/2 uniformly in [1, maxElem], then mirrors its sum onto the
+// remaining elements so that both halves sum to the same value A.
+func RandomYes(rng *rand.Rand, n int, maxElem int64) *Instance {
+	if n < 2 {
+		panic("partition: RandomYes requires n >= 2")
+	}
+	if maxElem < 1 {
+		maxElem = 1
+	}
+	half := n / 2
+	rest := n - half
+	elems := make([]int64, 0, n)
+	var sumA int64
+	for i := 0; i < half; i++ {
+		v := 1 + rng.Int63n(maxElem)
+		elems = append(elems, v)
+		sumA += v
+	}
+	// Build the second half with the same sum: draw rest−1 values below the
+	// remaining budget and let the last element absorb the rest.
+	budget := sumA
+	for i := 0; i < rest-1; i++ {
+		maxV := budget - int64(rest-1-i)
+		if maxV < 1 {
+			maxV = 1
+		}
+		v := 1 + rng.Int63n(maxV)
+		if v > budget-int64(rest-1-i) {
+			v = budget - int64(rest-1-i)
+		}
+		if v < 1 {
+			v = 1
+		}
+		elems = append(elems, v)
+		budget -= v
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	elems = append(elems, budget)
+	return New(elems...)
+}
+
+// RandomNo draws a NO-instance with n elements in which every element is at
+// most the target A = Σ a_i / 2 (the regime used by the Theorem 4 reduction,
+// where elements larger than A would be trivially unbalanced and would map to
+// resource requirements above 1). It draws random instances with even sum and
+// returns the first one the exact decider rejects; rejection sampling is fast
+// because a random instance is a NO-instance with constant probability.
+func RandomNo(rng *rand.Rand, n int, maxElem int64) *Instance {
+	if n < 2 {
+		panic("partition: RandomNo requires n >= 2")
+	}
+	if maxElem < 2 {
+		maxElem = 2
+	}
+	for attempt := 0; attempt < 100_000; attempt++ {
+		elems := make([]int64, n)
+		var sum, max int64
+		for i := range elems {
+			elems[i] = 1 + rng.Int63n(maxElem)
+			sum += elems[i]
+			if elems[i] > max {
+				max = elems[i]
+			}
+		}
+		if sum%2 != 0 {
+			elems[0]++
+			sum++
+			if elems[0] > max {
+				max = elems[0]
+			}
+		}
+		if max > sum/2 {
+			continue
+		}
+		inst := New(elems...)
+		yes, err := inst.Decide()
+		if err == nil && !yes {
+			return inst
+		}
+	}
+	// Deterministic fallback: an odd number of equal even elements has an
+	// unreachable (odd multiple of the element) target half-sum... more
+	// simply, {2, 2, 2} cannot be split into two halves of sum 3. Repeat the
+	// pattern to reach n elements while keeping the instance a NO-instance:
+	// 2k+1 copies of 2 plus (n-2k-1) padding handled by rejection above; in
+	// practice the loop above always succeeds, so keep the fallback minimal.
+	elems := make([]int64, n)
+	for i := range elems {
+		elems[i] = 2
+	}
+	if n%2 == 0 {
+		elems[n-1] = 4
+	}
+	return New(elems...)
+}

@@ -1,0 +1,191 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecideKnownInstances(t *testing.T) {
+	cases := []struct {
+		elems []int64
+		want  bool
+	}{
+		{[]int64{1, 1}, true},
+		{[]int64{3, 1, 2, 2}, true},
+		{[]int64{5, 1, 1, 1}, false},
+		{[]int64{2, 2, 2, 2, 4, 4}, true},
+		{[]int64{1, 2, 3, 4, 5, 7}, true},    // {1,3,7} vs {2,4,5}
+		{[]int64{1, 1, 1, 1, 1, 1, 6}, true}, // {6} vs six ones
+		{[]int64{7, 1, 1, 1, 1, 1}, false},   // 7 > 5
+		{[]int64{100, 2, 98}, true},
+	}
+	for _, c := range cases {
+		got, err := New(c.elems...).Decide()
+		if err != nil {
+			t.Fatalf("Decide(%v): %v", c.elems, err)
+		}
+		if got != c.want {
+			t.Fatalf("Decide(%v) = %v, want %v", c.elems, got, c.want)
+		}
+	}
+}
+
+func TestDecideRejectsInvalid(t *testing.T) {
+	if _, err := New().Decide(); err == nil {
+		t.Fatalf("empty instance must error")
+	}
+	if _, err := New(1, 2).Decide(); err == nil {
+		t.Fatalf("odd sum must error")
+	}
+	if _, err := New(0, 2).Decide(); err == nil {
+		t.Fatalf("non-positive element must error")
+	}
+}
+
+func TestSubsetWitness(t *testing.T) {
+	inst := New(3, 1, 2, 2)
+	subset, ok, err := inst.Subset()
+	if err != nil || !ok {
+		t.Fatalf("Subset: ok=%v err=%v", ok, err)
+	}
+	var sum int64
+	for _, idx := range subset {
+		sum += inst.Elems[idx]
+	}
+	if sum != inst.Target() {
+		t.Fatalf("witness sums to %d, want %d", sum, inst.Target())
+	}
+}
+
+func TestSubsetOnNoInstance(t *testing.T) {
+	_, ok, err := New(5, 1, 1, 1).Subset()
+	if err != nil {
+		t.Fatalf("Subset: %v", err)
+	}
+	if ok {
+		t.Fatalf("NO-instance must not yield a witness")
+	}
+}
+
+func TestSubsetAgreesWithDecide(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		elems := make([]int64, n)
+		var sum int64
+		for i := range elems {
+			elems[i] = 1 + rng.Int63n(20)
+			sum += elems[i]
+		}
+		if sum%2 != 0 {
+			elems[0]++
+		}
+		inst := New(elems...)
+		yes, err := inst.Decide()
+		if err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+		subset, ok, err := inst.Subset()
+		if err != nil {
+			t.Fatalf("Subset: %v", err)
+		}
+		if ok != yes {
+			t.Fatalf("Decide=%v but Subset ok=%v on %v", yes, ok, elems)
+		}
+		if ok {
+			var s int64
+			for _, idx := range subset {
+				s += inst.Elems[idx]
+			}
+			if s != inst.Target() {
+				t.Fatalf("witness sums to %d, want %d on %v", s, inst.Target(), elems)
+			}
+		}
+	}
+}
+
+func TestRandomYesIsAlwaysYes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		inst := RandomYes(rng, 2+rng.Intn(10), 50)
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("RandomYes produced invalid instance: %v", err)
+		}
+		yes, err := inst.Decide()
+		if err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+		if !yes {
+			t.Fatalf("RandomYes produced a NO-instance: %v", inst.Elems)
+		}
+	}
+}
+
+func TestRandomNoIsAlwaysNo(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		inst := RandomNo(rng, 2+rng.Intn(8), 30)
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("RandomNo produced invalid instance: %v", err)
+		}
+		yes, err := inst.Decide()
+		if err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+		if yes {
+			t.Fatalf("RandomNo produced a YES-instance: %v", inst.Elems)
+		}
+	}
+}
+
+// TestDecideMatchesExhaustiveSearch is a property-based cross-check of the
+// dynamic program against a 2^n enumeration on small random instances.
+func TestDecideMatchesExhaustiveSearch(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		elems := make([]int64, len(raw))
+		var sum int64
+		for i, r := range raw {
+			elems[i] = int64(r%31) + 1
+			sum += elems[i]
+		}
+		if sum%2 != 0 {
+			elems[0]++
+			sum++
+		}
+		inst := New(elems...)
+		got, err := inst.Decide()
+		if err != nil {
+			return false
+		}
+		// Exhaustive check.
+		target := sum / 2
+		want := false
+		for mask := 0; mask < 1<<len(elems); mask++ {
+			var s int64
+			for b := 0; b < len(elems); b++ {
+				if mask&(1<<b) != 0 {
+					s += elems[b]
+				}
+			}
+			if s == target {
+				want = true
+				break
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("property violated: %v", err)
+	}
+}
+
+func TestTargetAndSum(t *testing.T) {
+	inst := New(4, 6, 10)
+	if inst.Sum() != 20 || inst.Target() != 10 {
+		t.Fatalf("Sum/Target = %d/%d, want 20/10", inst.Sum(), inst.Target())
+	}
+}

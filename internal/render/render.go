@@ -1,0 +1,174 @@
+// Package render turns executed CRSharing schedules into human-readable ASCII
+// visualisations: a per-processor Gantt chart (which job runs when, and at
+// what speed), a per-step resource utilisation bar, and a compact comparison
+// view for several schedules of the same instance. The command-line tools and
+// the examples use it to show schedules the way the paper's figures do.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"crsharing/internal/core"
+	"crsharing/internal/numeric"
+)
+
+// GanttOptions controls the Gantt rendering.
+type GanttOptions struct {
+	// ShowShares prints the granted share (in percent) in each cell instead
+	// of the job index.
+	ShowShares bool
+	// MaxSteps truncates the rendering after this many steps (0 = no limit).
+	MaxSteps int
+}
+
+// Gantt renders the executed schedule as one row per processor and one column
+// per time step. Each cell shows the one-based index of the job the processor
+// worked on (or "--" when idle); with ShowShares it shows the granted share
+// in percent instead. A trailing row shows the total resource use per step.
+func Gantt(res *core.Result, opts GanttOptions) string {
+	steps := res.Steps()
+	if opts.MaxSteps > 0 && steps > opts.MaxSteps {
+		steps = opts.MaxSteps
+	}
+	m := res.NumProcessors()
+	var b strings.Builder
+
+	// Header row with step numbers.
+	b.WriteString("      ")
+	for t := 0; t < steps; t++ {
+		fmt.Fprintf(&b, " %4d", t+1)
+	}
+	b.WriteString("\n")
+
+	for i := 0; i < m; i++ {
+		fmt.Fprintf(&b, "p%-4d|", i+1)
+		for t := 0; t < steps; t++ {
+			j, ok := res.ActiveJob(t, i)
+			switch {
+			case !ok:
+				b.WriteString("   --")
+			case opts.ShowShares:
+				fmt.Fprintf(&b, " %4.0f", res.Schedule().Share(t, i)*100)
+			default:
+				if res.Progressed(t, i) {
+					fmt.Fprintf(&b, " j%-3d", j+1)
+				} else {
+					// Active but not progressing (received no share).
+					b.WriteString("    .")
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("use %|")
+	for t := 0; t < steps; t++ {
+		fmt.Fprintf(&b, " %4.0f", res.Schedule().StepTotal(t)*100)
+	}
+	b.WriteString("\n")
+	if opts.MaxSteps > 0 && res.Steps() > opts.MaxSteps {
+		fmt.Fprintf(&b, "(truncated after %d of %d steps)\n", opts.MaxSteps, res.Steps())
+	}
+	return b.String()
+}
+
+// Utilisation renders a vertical bar chart of the per-step resource
+// utilisation (one line per step), useful for spotting the wasted steps that
+// the non-wasting property forbids.
+func Utilisation(res *core.Result) string {
+	var b strings.Builder
+	for t := 0; t < res.Steps(); t++ {
+		total := res.Schedule().StepTotal(t)
+		bars := int(total*40 + 0.5)
+		if bars > 40 {
+			bars = 40
+		}
+		marker := ""
+		if numeric.Less(total, 1) && anyUnfinishedActive(res, t) {
+			marker = "  <- wasteful"
+		}
+		fmt.Fprintf(&b, "t=%3d %5.1f%% |%-40s|%s\n", t+1, total*100, strings.Repeat("#", bars), marker)
+	}
+	return b.String()
+}
+
+func anyUnfinishedActive(res *core.Result, t int) bool {
+	for i := 0; i < res.NumProcessors(); i++ {
+		if res.Active(t, i) && !res.FinishedJobDuring(t, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// JobTable renders one line per job with its requirement, start step,
+// completion step and the number of steps it was in progress — the textual
+// analogue of the interval structure used by the nested-schedule definition.
+func JobTable(res *core.Result) string {
+	var b strings.Builder
+	b.WriteString("job     req%  start  finish  span\n")
+	inst := res.Instance()
+	for i := 0; i < inst.NumProcessors(); i++ {
+		for j := 0; j < inst.NumJobs(i); j++ {
+			s, c := res.StartStep(i, j), res.CompletionStep(i, j)
+			span := "-"
+			if s >= 0 && c >= 0 {
+				span = fmt.Sprintf("%d", c-s+1)
+			}
+			fmt.Fprintf(&b, "(%d,%d)  %5.0f  %5s  %6s  %4s\n",
+				i+1, j+1, inst.Job(i, j).Req*100, stepOrDash(s), stepOrDash(c), span)
+		}
+	}
+	return b.String()
+}
+
+func stepOrDash(step int) string {
+	if step < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", step+1)
+}
+
+// Compare renders a side-by-side summary of several schedules for the same
+// instance: algorithm name, makespan, ratio to the best of them, and the
+// structural properties.
+func Compare(inst *core.Instance, schedules map[string]*core.Schedule) (string, error) {
+	type row struct {
+		name     string
+		makespan int
+		props    core.Properties
+	}
+	var rows []row
+	best := 0
+	for name, s := range schedules {
+		res, err := core.Execute(inst, s)
+		if err != nil {
+			return "", fmt.Errorf("render: %s: %w", name, err)
+		}
+		if !res.Finished() {
+			return "", fmt.Errorf("render: %s: schedule does not finish all jobs", name)
+		}
+		rows = append(rows, row{name: name, makespan: res.Makespan(), props: core.CheckProperties(res)})
+		if best == 0 || res.Makespan() < best {
+			best = res.Makespan()
+		}
+	}
+	// Deterministic order: by makespan, then name.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0; j-- {
+			if rows[j].makespan < rows[j-1].makespan ||
+				(rows[j].makespan == rows[j-1].makespan && rows[j].name < rows[j-1].name) {
+				rows[j], rows[j-1] = rows[j-1], rows[j]
+			} else {
+				break
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %8s %8s  %s\n", "algorithm", "makespan", "vs best", "properties")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %8d %8.3f  %s\n", r.name, r.makespan, float64(r.makespan)/float64(best), r.props)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,200 @@
+// Package stats provides the small set of descriptive statistics used by the
+// experiment harness and the simulator reports: means, standard deviations,
+// quantiles, min/max, and fixed-width histograms. It exists so that the
+// experiments can summarise ratio distributions without pulling in external
+// dependencies.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes the summary of the sample. An empty sample yields a zero
+// summary with Count 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	s.P50 = Quantile(xs, 0.50)
+	s.P90 = Quantile(xs, 0.90)
+	s.P99 = Quantile(xs, 0.99)
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.4f sd=%.4f min=%.4f p50=%.4f p90=%.4f p99=%.4f max=%.4f",
+		s.Count, s.Mean, s.StdDev, s.Min, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum (0 for an empty sample).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Min returns the minimum (0 for an empty sample).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	min := xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Quantile returns the q-quantile (q in [0,1]) using linear interpolation
+// between closest ranks. The input need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	// Underflow and Overflow count samples outside [Lo, Hi).
+	Underflow int
+	Overflow  int
+}
+
+// NewHistogram returns a histogram with the given number of equal-width
+// buckets covering [lo, hi). It panics if hi ≤ lo or buckets < 1 (programming
+// errors).
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if hi <= lo || buckets < 1 {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, buckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	if x < h.Lo {
+		h.Underflow++
+		return
+	}
+	if x >= h.Hi {
+		h.Overflow++
+		return
+	}
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if idx >= len(h.Buckets) {
+		idx = len(h.Buckets) - 1
+	}
+	h.Buckets[idx]++
+}
+
+// Total returns the number of recorded samples, including under- and
+// overflow.
+func (h *Histogram) Total() int {
+	t := h.Underflow + h.Overflow
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// String renders the histogram as an ASCII bar chart, one bucket per line.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 1
+	for _, c := range h.Buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		lo := h.Lo + float64(i)*width
+		bar := strings.Repeat("#", c*40/maxCount)
+		fmt.Fprintf(&b, "[%7.3f, %7.3f) %6d %s\n", lo, lo+width, c, bar)
+	}
+	if h.Underflow > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.Underflow)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.Overflow)
+	}
+	return b.String()
+}

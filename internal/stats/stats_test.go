@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if s.Count != 8 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", s.Mean)
+	}
+	// Sample standard deviation of this classic example is ~2.138.
+	if math.Abs(s.StdDev-2.138089935299395) > 1e-9 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.P50-4.5) > 1e-12 {
+		t.Fatalf("median = %v, want 4.5", s.P50)
+	}
+	if !strings.Contains(s.String(), "mean=5.0000") {
+		t.Fatalf("String: %q", s.String())
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.String() != "n=0" {
+		t.Fatalf("empty summary malformed: %+v", s)
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 || Quantile(nil, 0.5) != 0 {
+		t.Fatalf("empty-sample helpers must return 0")
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 3 {
+		t.Fatalf("extreme quantiles wrong")
+	}
+	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 3 {
+		t.Fatalf("out-of-range q must clamp")
+	}
+	if math.Abs(Quantile(xs, 0.5)-2) > 1e-12 {
+		t.Fatalf("median of {1,2,3} = %v", Quantile(xs, 0.5))
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	xs := []float64{-1, 5, 2}
+	if Min(xs) != -1 || Max(xs) != 5 || math.Abs(Mean(xs)-2) > 1e-12 {
+		t.Fatalf("Min/Max/Mean broken")
+	}
+}
+
+func TestQuantilePropertyWithinRange(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q := float64(qRaw) / 255
+		v := Quantile(xs, q)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return v >= sorted[0]-1e-12 && v <= sorted[len(sorted)-1]+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("property violated: %v", err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa, qb := float64(a)/255, float64(b)/255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("monotonicity violated: %v", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for _, x := range []float64{0.1, 0.1, 0.3, 0.6, 0.9, -0.5, 1.5} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d, want 7", h.Total())
+	}
+	if h.Buckets[0] != 2 || h.Buckets[1] != 1 || h.Buckets[2] != 1 || h.Buckets[3] != 1 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Fatalf("under/over = %d/%d", h.Underflow, h.Overflow)
+	}
+	out := h.String()
+	if !strings.Contains(out, "underflow 1") || !strings.Contains(out, "overflow 1") {
+		t.Fatalf("rendering missing overflow lines:\n%s", out)
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestHistogramEdgeBucket(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	h.Add(0.9999999999)
+	sum := 0
+	for _, c := range h.Buckets {
+		sum += c
+	}
+	if sum != 1 || h.Overflow != 0 {
+		t.Fatalf("sample just below Hi must land in the last bucket")
+	}
+}

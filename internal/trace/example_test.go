@@ -1,0 +1,34 @@
+package trace_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crsharing/internal/core"
+	"crsharing/internal/manycore"
+	"crsharing/internal/trace"
+)
+
+// ExampleToInstance converts a one-task-per-core workload with unit-volume
+// phases into a CRSharing instance: every phase becomes one unit-size job
+// whose resource requirement is the phase's bandwidth share, so the paper's
+// offline algorithms and lower bounds apply directly.
+func ExampleToInstance() {
+	rng := rand.New(rand.NewSource(1))
+	tasks := trace.UnitPhases(rng, 4, 3, 0.2, 0.8)
+	workload := manycore.NewWorkload(4)
+	for i, t := range tasks {
+		workload.Assign(i, t)
+	}
+
+	inst, _ := trace.ToInstance(workload)
+	fmt.Println("processors:", inst.NumProcessors())
+	fmt.Println("jobs:", inst.TotalJobs())
+	fmt.Println("unit size:", inst.IsUnitSize())
+	fmt.Println("chain lower bound:", core.LowerBounds(inst).Chain)
+	// Output:
+	// processors: 4
+	// jobs: 12
+	// unit size: true
+	// chain lower bound: 3
+}
