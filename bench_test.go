@@ -13,6 +13,7 @@ package crsharing
 // hypergraph construction and the many-core simulator engine).
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -29,6 +30,7 @@ import (
 	"crsharing/internal/gen"
 	"crsharing/internal/hypergraph"
 	"crsharing/internal/manycore"
+	"crsharing/internal/solver"
 	"crsharing/internal/trace"
 )
 
@@ -336,4 +338,94 @@ func BenchmarkAblationDenseVsPQ(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- solver subsystem benchmarks ---------------------------------------------
+
+// hardExactInstance is an adversarial instance on which the exact search is
+// substantial (tens of milliseconds serially) but bounded, so the serial vs.
+// parallel branch-and-bound comparison is meaningful.
+func hardExactInstance() *core.Instance {
+	const m, blocks = 5, 2
+	return gen.GreedyWorstCase(m, blocks, 1.0/float64(20*m*(m+1)))
+}
+
+// BenchmarkBranchBoundSerial is the single-core baseline for
+// BenchmarkBranchBoundParallel.
+func BenchmarkBranchBoundSerial(b *testing.B) {
+	inst := hardExactInstance()
+	s := branchbound.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Makespan(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBranchBoundParallel runs the work-stealing branch-and-bound with
+// one worker per core on the same instance as the serial baseline; comparing
+// the two shows the multi-core speedup (on a single-core machine the two
+// should be on par, the queue overhead being the difference).
+func BenchmarkBranchBoundParallel(b *testing.B) {
+	inst := hardExactInstance()
+	s := branchbound.NewParallel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Makespan(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPortfolio races the default portfolio on a mid-size instance; the
+// sub-benchmark shards a stream of solves across goroutines with
+// b.SetParallelism, exercising the portfolio under concurrent callers as the
+// experiment harness does.
+func BenchmarkPortfolio(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	inst := gen.Random(rng, 3, 6, 0.05, 1.0)
+	b.Run("single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := solver.NewDefaultPortfolio().Solve(context.Background(), inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-callers", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetParallelism(4)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, _, err := solver.NewDefaultPortfolio().Solve(context.Background(), inst); err != nil {
+					b.Errorf("portfolio: %v", err)
+					return
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkParallelEach shards a batch of instances across the worker pool,
+// the experiment-scale throughput path of the solver subsystem.
+func BenchmarkParallelEach(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	var insts []*core.Instance
+	for i := 0; i < 32; i++ {
+		insts = append(insts, gen.Random(rng, 3, 8, 0.05, 1.0))
+	}
+	newSolver := func() solver.Solver { return solver.Adapt(greedybalance.New()) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outcomes := solver.ParallelEach(context.Background(), newSolver, insts, 0)
+		for _, out := range outcomes {
+			if out.Err != nil {
+				b.Fatal(out.Err)
+			}
+		}
+	}
 }

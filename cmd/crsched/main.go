@@ -1,54 +1,40 @@
-// Command crsched solves a CRSharing instance with a chosen algorithm and
+// Command crsched solves a CRSharing instance with a chosen solver and
 // reports the schedule, its makespan, the lower bounds, the structural
 // properties of Section 4 and, on request, the scheduling hypergraph of
-// Section 3.2.
+// Section 3.2. All solvers are selected from the solver registry, so every
+// run supports timeouts, the parallel kernels and portfolio mode.
 //
 // Usage examples:
 //
 //	crgen -kind figure3 -n 20 | crsched -algo greedy-balance
-//	crsched -algo opt-res-assignment -in instance.json -schedule
-//	crsched -algo opt-res-assignment-2 -in gadget.json -graph
+//	crsched -algo branch-and-bound-parallel -in instance.json -timeout 30s
+//	crsched -algo portfolio -in instance.json -schedule
+//	crgen ... | crsched -batch -algo greedy-balance -workers 8
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
-	"crsharing/internal/algo"
-	"crsharing/internal/algo/branchbound"
-	"crsharing/internal/algo/chunked"
-	"crsharing/internal/algo/greedybalance"
-	"crsharing/internal/algo/optres2"
-	"crsharing/internal/algo/optresm"
-	"crsharing/internal/algo/roundrobin"
 	"crsharing/internal/core"
 	"crsharing/internal/hypergraph"
 	"crsharing/internal/render"
+	"crsharing/internal/solver"
 )
 
-func registry() *algo.Registry {
-	r := algo.NewRegistry()
-	r.Register(func() algo.Scheduler { return roundrobin.New() })
-	r.Register(func() algo.Scheduler { return greedybalance.New() })
-	r.Register(func() algo.Scheduler { return greedybalance.NewWithTie(greedybalance.SmallerRemaining) })
-	r.Register(func() algo.Scheduler { return greedybalance.NewUnbalanced(greedybalance.LargerRemaining) })
-	r.Register(func() algo.Scheduler { return optres2.New() })
-	r.Register(func() algo.Scheduler { return optres2.NewPQ() })
-	r.Register(func() algo.Scheduler { return optresm.New() })
-	r.Register(func() algo.Scheduler { return branchbound.New() })
-	r.Register(func() algo.Scheduler { return chunked.New(2) })
-	r.Register(func() algo.Scheduler { return chunked.New(3) })
-	return r
-}
-
 func main() {
-	reg := registry()
-	algoName := flag.String("algo", "greedy-balance", "scheduler to run (see -list)")
+	reg := solver.Default()
+	algoName := flag.String("algo", "greedy-balance", "solver to run (see -list); \"portfolio\" races several")
 	in := flag.String("in", "", "instance JSON file (default: stdin)")
-	list := flag.Bool("list", false, "list available schedulers and exit")
+	list := flag.Bool("list", false, "list available solvers and exit")
+	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+	workers := flag.Int("workers", 0, "worker pool size for -batch (0 = GOMAXPROCS)")
+	batch := flag.Bool("batch", false, "treat the input as a JSON array of instances and solve them in parallel")
 	showSchedule := flag.Bool("schedule", false, "print the full per-step resource assignment")
 	showGantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 	showJobs := flag.Bool("jobs", false, "print the per-job start/finish table")
@@ -63,23 +49,44 @@ func main() {
 		return
 	}
 
-	inst, err := readInstance(*in)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	data, err := readInput(*in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	scheduler, err := reg.New(*algoName)
+
+	if *batch {
+		if err := runBatch(ctx, reg, *algoName, data, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var inst core.Instance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		fmt.Fprintf(os.Stderr, "crsched: parsing instance: %v\n", err)
+		os.Exit(2)
+	}
+	s, err := reg.New(*algoName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	ev, err := algo.Evaluate(scheduler, inst)
+	ev, err := solver.Evaluate(ctx, s, &inst)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	bounds := core.LowerBounds(inst)
+	bounds := core.LowerBounds(&inst)
 	fmt.Printf("instance: m=%d, jobs=%d, total work=%.3f\n", inst.NumProcessors(), inst.TotalJobs(), inst.TotalWork())
 	fmt.Printf("algorithm: %s\n", ev.Algorithm)
 	fmt.Printf("makespan: %d\n", ev.Makespan)
@@ -87,12 +94,21 @@ func main() {
 	fmt.Printf("ratio to lower bound: %.4f\n", ev.Ratio)
 	fmt.Printf("wasted resource: %.4f\n", ev.Wasted)
 	fmt.Printf("properties: %s\n", ev.Properties)
+	fmt.Printf("solve time: %s\n", ev.Stats.Elapsed.Round(time.Microsecond))
+	for _, c := range ev.Stats.Candidates {
+		if c.Err != nil {
+			fmt.Printf("  candidate %-32s error: %v\n", c.Solver, c.Err)
+		} else {
+			fmt.Printf("  candidate %-32s makespan=%d waste=%.4f in %s\n",
+				c.Solver, c.Makespan, c.Wasted, c.Elapsed.Round(time.Microsecond))
+		}
+	}
 
 	if *showSchedule {
 		fmt.Print(ev.Schedule.String())
 	}
 	if *showGantt || *showJobs {
-		res, err := core.Execute(inst, ev.Schedule)
+		res, err := core.Execute(&inst, ev.Schedule)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -105,7 +121,7 @@ func main() {
 		}
 	}
 	if *showGraph || *dot {
-		g, err := hypergraph.BuildFromSchedule(inst, ev.Schedule)
+		g, err := hypergraph.BuildFromSchedule(&inst, ev.Schedule)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -119,7 +135,41 @@ func main() {
 	}
 }
 
-func readInstance(path string) (*core.Instance, error) {
+// runBatch parses a JSON array of instances and solves them all through
+// solver.ParallelEach, printing one summary line per instance.
+func runBatch(ctx context.Context, reg *solver.Registry, algoName string, data []byte, workers int) error {
+	var insts []*core.Instance
+	if err := json.Unmarshal(data, &insts); err != nil {
+		return fmt.Errorf("crsched: parsing instance array: %w", err)
+	}
+	if _, err := reg.New(algoName); err != nil {
+		return err
+	}
+	newSolver := func() solver.Solver {
+		s, err := reg.New(algoName)
+		if err != nil {
+			panic(err) // unreachable: validated above
+		}
+		return s
+	}
+	outcomes := solver.ParallelEach(ctx, newSolver, insts, workers)
+	failed := 0
+	for _, out := range outcomes {
+		if out.Err != nil {
+			failed++
+			fmt.Printf("#%-3d error: %v\n", out.Index, out.Err)
+			continue
+		}
+		fmt.Printf("#%-3d makespan=%-4d waste=%.4f solver=%s in %s\n",
+			out.Index, out.Makespan, out.Wasted, out.Stats.Solver, out.Stats.Elapsed.Round(time.Microsecond))
+	}
+	if failed > 0 {
+		return fmt.Errorf("crsched: %d of %d instances failed", failed, len(insts))
+	}
+	return nil
+}
+
+func readInput(path string) ([]byte, error) {
 	var data []byte
 	var err error
 	if path == "" {
@@ -130,9 +180,5 @@ func readInstance(path string) (*core.Instance, error) {
 	if err != nil {
 		return nil, fmt.Errorf("crsched: reading instance: %w", err)
 	}
-	var inst core.Instance
-	if err := json.Unmarshal(data, &inst); err != nil {
-		return nil, fmt.Errorf("crsched: parsing instance: %w", err)
-	}
-	return &inst, nil
+	return data, nil
 }

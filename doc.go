@@ -9,6 +9,32 @@
 // README.md for an overview, DESIGN.md for the system inventory and the
 // experiment index, and EXPERIMENTS.md for the recorded reproduction results.
 //
+// # Solver registry and concurrency layer
+//
+// Every scheduling algorithm is registered in internal/solver behind one
+// context-aware interface:
+//
+//	Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, Stats, error)
+//
+// The packages under internal/algo stay synchronous, single-purpose kernels;
+// internal/solver adapts them and layers the concurrency on top:
+//
+//   - Registry: name -> constructor, used by cmd/crsched, cmd/crexp and the
+//     experiment harness, so every entry point supports deadlines and
+//     cancellation uniformly.
+//   - Portfolio: races a set of solvers on one instance on a goroutine per
+//     member and returns the best schedule found (lowest makespan, ties by
+//     less waste). The exact-only variant cancels the losers as soon as one
+//     exact member finishes.
+//   - ParallelEach: shards a batch of instances across a worker pool
+//     (GOMAXPROCS by default) for experiment-scale throughput.
+//
+// The two hottest exact kernels are parallel internally as well:
+// branch-and-bound explores frontier subtrees on a worker pool with a shared
+// atomic incumbent bound and a bounded hand-off queue, and the configuration
+// enumeration fans each round's successor generation out in chunks. Both
+// poll their context and return promptly on cancellation.
+//
 // The root package itself only carries this documentation and the benchmark
 // suite (bench_test.go) that regenerates every figure-level experiment under
 // `go test -bench`.

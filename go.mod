@@ -1,0 +1,3 @@
+module crsharing
+
+go 1.24

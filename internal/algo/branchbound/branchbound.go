@@ -9,6 +9,7 @@
 package branchbound
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -55,6 +56,7 @@ func (st *state) key() string {
 }
 
 type solver struct {
+	ctx       context.Context
 	inst      *core.Instance
 	best      int         // incumbent makespan
 	bestMoves [][]float64 // allocation rows of the incumbent
@@ -63,8 +65,19 @@ type solver struct {
 	maxNodes  int
 }
 
+// ctxCheckMask controls how often the search polls the context: every
+// ctxCheckMask+1 explored nodes. It must be a power of two minus one.
+const ctxCheckMask = 255
+
 // Schedule implements algo.Scheduler.
 func (s *Scheduler) Schedule(inst *core.Instance) (*core.Schedule, error) {
+	return s.ScheduleContext(context.Background(), inst)
+}
+
+// ScheduleContext is Schedule with cooperative cancellation: the search polls
+// ctx every few hundred nodes and returns ctx.Err() promptly once it is
+// cancelled or its deadline passes.
+func (s *Scheduler) ScheduleContext(ctx context.Context, inst *core.Instance) (*core.Schedule, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -91,6 +104,7 @@ func (s *Scheduler) Schedule(inst *core.Instance) (*core.Schedule, error) {
 	}
 
 	sv := &solver{
+		ctx:      ctx,
 		inst:     inst,
 		best:     gbRes.Makespan(),
 		visited:  make(map[string]int),
@@ -141,19 +155,20 @@ func work(inst *core.Instance, p, done int) float64 {
 
 // lowerBound returns a lower bound on the number of additional steps needed
 // from the state: the maximum of the remaining chain length and the ceiling
-// of the remaining aggregate work.
-func (sv *solver) lowerBound(st *state) int {
+// of the remaining aggregate work. It is shared by the serial and the
+// parallel solver.
+func lowerBound(inst *core.Instance, st *state) int {
 	chain := 0
 	var workSum float64
-	for i := 0; i < sv.inst.NumProcessors(); i++ {
-		remaining := sv.inst.NumJobs(i) - st.done[i]
+	for i := 0; i < inst.NumProcessors(); i++ {
+		remaining := inst.NumJobs(i) - st.done[i]
 		if remaining > chain {
 			chain = remaining
 		}
 		if remaining > 0 {
 			workSum += st.rem[i]
-			for j := st.done[i] + 1; j < sv.inst.NumJobs(i); j++ {
-				workSum += sv.inst.Job(i, j).Work()
+			for j := st.done[i] + 1; j < inst.NumJobs(i); j++ {
+				workSum += inst.Job(i, j).Work()
 			}
 		}
 	}
@@ -171,6 +186,13 @@ func (sv *solver) search(st *state, depth int, moves [][]float64) error {
 	if sv.nodes > sv.maxNodes {
 		return fmt.Errorf("branchbound: node limit of %d exceeded", sv.maxNodes)
 	}
+	if sv.nodes&ctxCheckMask == 0 {
+		select {
+		case <-sv.ctx.Done():
+			return sv.ctx.Err()
+		default:
+		}
+	}
 	finished := true
 	for i := range st.done {
 		if st.done[i] < sv.inst.NumJobs(i) {
@@ -185,7 +207,7 @@ func (sv *solver) search(st *state, depth int, moves [][]float64) error {
 		}
 		return nil
 	}
-	if depth+sv.lowerBound(st) >= sv.best {
+	if depth+lowerBound(sv.inst, st) >= sv.best {
 		return nil // cannot improve on the incumbent
 	}
 	key := st.key()
@@ -194,7 +216,7 @@ func (sv *solver) search(st *state, depth int, moves [][]float64) error {
 	}
 	sv.visited[key] = depth
 
-	succ := sv.successors(st)
+	succ := expand(sv.inst, st)
 	for _, next := range succ {
 		if err := sv.search(next.state, depth+1, append(moves, next.alloc)); err != nil {
 			return err
@@ -208,15 +230,16 @@ type move struct {
 	alloc []float64
 }
 
-// successors enumerates the non-wasting, progressive one-step moves, ordered
-// so that moves finishing more jobs come first (good incumbent updates early
-// make the bound prune more).
-func (sv *solver) successors(st *state) []move {
-	m := sv.inst.NumProcessors()
+// expand enumerates the non-wasting, progressive one-step moves from a state,
+// ordered so that moves finishing more jobs come first (good incumbent
+// updates early make the bound prune more). It is shared by the serial and
+// the parallel solver; it only reads the instance and the state.
+func expand(inst *core.Instance, st *state) []move {
+	m := inst.NumProcessors()
 	var active []int
 	var total float64
 	for i := 0; i < m; i++ {
-		if st.done[i] < sv.inst.NumJobs(i) {
+		if st.done[i] < inst.NumJobs(i) {
 			active = append(active, i)
 			total += st.rem[i]
 		}
@@ -227,7 +250,7 @@ func (sv *solver) successors(st *state) []move {
 		for _, i := range finish {
 			alloc[i] = st.rem[i]
 			ns.done[i]++
-			ns.rem[i] = work(sv.inst, i, ns.done[i])
+			ns.rem[i] = work(inst, i, ns.done[i])
 		}
 		if partial >= 0 {
 			alloc[partial] = amount

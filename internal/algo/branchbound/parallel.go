@@ -1,0 +1,292 @@
+package branchbound
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"crsharing/internal/algo/greedybalance"
+	"crsharing/internal/core"
+)
+
+// ParallelScheduler is the multi-core variant of the exact branch-and-bound
+// solver. It expands the root into a frontier of independent subtrees and
+// explores them on a pool of workers that share a single atomic incumbent
+// bound, so a good solution found by any worker immediately tightens the
+// pruning of every other. Work is distributed through a bounded queue:
+// workers offload one successor subtree whenever the queue has room and
+// otherwise recurse locally, which keeps all cores busy without unbounded
+// task inflation.
+type ParallelScheduler struct {
+	// Workers is the pool size (0 = GOMAXPROCS).
+	Workers int
+	// MaxNodes caps the total nodes explored across all workers
+	// (0 = DefaultMaxNodes).
+	MaxNodes int
+}
+
+// NewParallel returns a parallel branch-and-bound solver with default limits.
+func NewParallel() *ParallelScheduler { return &ParallelScheduler{} }
+
+// Name implements algo.Scheduler.
+func (s *ParallelScheduler) Name() string { return "branch-and-bound-parallel" }
+
+// IsExact marks the scheduler as exact.
+func (s *ParallelScheduler) IsExact() bool { return true }
+
+// Schedule implements algo.Scheduler.
+func (s *ParallelScheduler) Schedule(inst *core.Instance) (*core.Schedule, error) {
+	return s.ScheduleContext(context.Background(), inst)
+}
+
+// task is one independent subtree: a state plus the path that reached it.
+type task struct {
+	st    *state
+	depth int
+	moves [][]float64
+}
+
+// shared is the state visible to every worker.
+type shared struct {
+	inst     *core.Instance
+	best     atomic.Int64 // incumbent makespan
+	nodes    atomic.Int64 // total explored nodes
+	maxNodes int64
+
+	mu        sync.Mutex  // guards bestMoves
+	bestMoves [][]float64 // allocation rows of the incumbent
+
+	queue     chan task
+	pending   atomic.Int64 // queued + in-flight tasks
+	closeOnce sync.Once
+
+	failed  atomic.Bool
+	failMu  sync.Mutex
+	failErr error
+}
+
+var errNodeLimit = errors.New("node limit exceeded")
+
+// ScheduleContext computes an optimal schedule, polling ctx cooperatively in
+// every worker so cancellation and deadlines take effect promptly.
+func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Instance) (*core.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if !inst.IsUnitSize() {
+		return nil, fmt.Errorf("branchbound: requires unit size jobs")
+	}
+	if inst.TotalJobs() == 0 {
+		return &core.Schedule{}, nil
+	}
+
+	// Incumbent: GreedyBalance, as in the serial solver.
+	gbSched, err := greedybalance.New().Schedule(inst)
+	if err != nil {
+		return nil, err
+	}
+	gbRes, err := core.Execute(inst, gbSched)
+	if err != nil {
+		return nil, err
+	}
+	if !gbRes.Finished() {
+		return nil, fmt.Errorf("branchbound: internal error: incumbent schedule incomplete")
+	}
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sh := &shared{
+		inst:      inst,
+		bestMoves: allocRows(gbSched),
+		maxNodes:  int64(s.MaxNodes),
+	}
+	if sh.maxNodes <= 0 {
+		sh.maxNodes = DefaultMaxNodes
+	}
+	sh.best.Store(int64(gbRes.Makespan()))
+
+	root := &state{done: make([]int, inst.NumProcessors()), rem: make([]float64, inst.NumProcessors())}
+	for i := 0; i < inst.NumProcessors(); i++ {
+		root.rem[i] = work(inst, i, 0)
+	}
+
+	// Seed the frontier breadth-first until there is enough fan-out to keep
+	// the pool busy. Small instances may be solved entirely during seeding.
+	frontier := []task{{st: root, depth: 0}}
+	for len(frontier) > 0 && len(frontier) < workers*4 {
+		t := frontier[0]
+		frontier = frontier[1:]
+		if isFinished(inst, t.st) {
+			sh.offerSolution(t.depth, t.moves)
+			continue
+		}
+		if int64(t.depth+lowerBound(inst, t.st)) >= sh.best.Load() {
+			continue
+		}
+		for _, next := range expand(inst, t.st) {
+			moves := append(append([][]float64(nil), t.moves...), next.alloc)
+			frontier = append(frontier, task{st: next.state, depth: t.depth + 1, moves: moves})
+		}
+	}
+	if len(frontier) == 0 {
+		return sh.schedule(), nil
+	}
+
+	sh.queue = make(chan task, len(frontier)+workers*64)
+	sh.pending.Store(int64(len(frontier)))
+	for _, t := range frontier {
+		sh.queue <- t
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh.worker(ctx)
+		}()
+	}
+	wg.Wait()
+
+	if sh.failed.Load() {
+		sh.failMu.Lock()
+		err := sh.failErr
+		sh.failMu.Unlock()
+		if errors.Is(err, errNodeLimit) {
+			return nil, fmt.Errorf("branchbound: node limit of %d exceeded", sh.maxNodes)
+		}
+		return nil, err
+	}
+	return sh.schedule(), nil
+}
+
+// Makespan returns the optimal makespan.
+func (s *ParallelScheduler) Makespan(inst *core.Instance) (int, error) {
+	sched, err := s.Schedule(inst)
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Execute(inst, sched)
+	if err != nil {
+		return 0, err
+	}
+	if !res.Finished() {
+		return 0, fmt.Errorf("branchbound: internal error: result schedule incomplete")
+	}
+	return res.Makespan(), nil
+}
+
+func isFinished(inst *core.Instance, st *state) bool {
+	for i := range st.done {
+		if st.done[i] < inst.NumJobs(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// offerSolution installs a complete schedule of the given makespan as the
+// incumbent if it improves on the current one.
+func (sh *shared) offerSolution(depth int, moves [][]float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if int64(depth) < sh.best.Load() {
+		sh.best.Store(int64(depth))
+		sh.bestMoves = append([][]float64(nil), moves...)
+	}
+}
+
+// schedule materialises the incumbent.
+func (sh *shared) schedule() *core.Schedule {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sched := core.NewSchedule(len(sh.bestMoves), sh.inst.NumProcessors())
+	for t, row := range sh.bestMoves {
+		copy(sched.Alloc[t], row)
+	}
+	return sched
+}
+
+// fail records the first error; later errors are dropped. Once failed, every
+// worker skips the tasks it drains so the queue empties quickly.
+func (sh *shared) fail(err error) {
+	if sh.failed.CompareAndSwap(false, true) {
+		sh.failMu.Lock()
+		sh.failErr = err
+		sh.failMu.Unlock()
+	}
+}
+
+// worker drains tasks until the queue closes. Every drained task is counted
+// against pending even when it is skipped after a failure, so the queue is
+// guaranteed to close and no goroutine is left behind.
+func (sh *shared) worker(ctx context.Context) {
+	visited := make(map[string]int)
+	for t := range sh.queue {
+		if !sh.failed.Load() {
+			if err := sh.dfs(ctx, t.st, t.depth, t.moves, visited); err != nil {
+				sh.fail(err)
+			}
+		}
+		if sh.pending.Add(-1) == 0 {
+			sh.closeOnce.Do(func() { close(sh.queue) })
+		}
+	}
+}
+
+// dfs explores one subtree depth-first against the shared incumbent bound,
+// offloading at most one successor per node into the queue when it has room.
+func (sh *shared) dfs(ctx context.Context, st *state, depth int, moves [][]float64, visited map[string]int) error {
+	n := sh.nodes.Add(1)
+	if n > sh.maxNodes {
+		return errNodeLimit
+	}
+	if n&ctxCheckMask == 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	if isFinished(sh.inst, st) {
+		sh.offerSolution(depth, moves)
+		return nil
+	}
+	if int64(depth+lowerBound(sh.inst, st)) >= sh.best.Load() {
+		return nil
+	}
+	key := st.key()
+	if prev, ok := visited[key]; ok && prev <= depth {
+		return nil
+	}
+	visited[key] = depth
+
+	succ := expand(sh.inst, st)
+	for i, next := range succ {
+		// Keep the most promising successor (index 0) local; offer the rest
+		// to idle workers while the bounded queue has room.
+		if i > 0 {
+			sh.pending.Add(1)
+			handoff := task{
+				st:    next.state,
+				depth: depth + 1,
+				moves: append(append([][]float64(nil), moves...), next.alloc),
+			}
+			select {
+			case sh.queue <- handoff:
+				continue
+			default:
+				sh.pending.Add(-1)
+			}
+		}
+		if err := sh.dfs(ctx, next.state, depth+1, append(moves, next.alloc), visited); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@
 package chunked
 
 import (
+	"context"
 	"fmt"
 
 	"crsharing/internal/algo/optresm"
@@ -40,6 +41,13 @@ func (s *Scheduler) window() int {
 
 // Schedule implements algo.Scheduler.
 func (s *Scheduler) Schedule(inst *core.Instance) (*core.Schedule, error) {
+	return s.ScheduleContext(context.Background(), inst)
+}
+
+// ScheduleContext is Schedule with cooperative cancellation: the context is
+// forwarded to the exact per-window solves, so cancellation takes effect
+// within a window.
+func (s *Scheduler) ScheduleContext(ctx context.Context, inst *core.Instance) (*core.Schedule, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -70,7 +78,7 @@ func (s *Scheduler) Schedule(inst *core.Instance) (*core.Schedule, error) {
 		if sub.TotalJobs() == 0 {
 			continue
 		}
-		subSched, err := exact.Schedule(sub)
+		subSched, err := exact.ScheduleContext(ctx, sub)
 		if err != nil {
 			return nil, fmt.Errorf("chunked: window [%d,%d): %w", start+1, end, err)
 		}

@@ -14,6 +14,7 @@
 package optresm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -91,6 +92,13 @@ func dominates(a, b *config) bool {
 
 // Schedule implements algo.Scheduler.
 func (s *Scheduler) Schedule(inst *core.Instance) (*core.Schedule, error) {
+	return s.ScheduleContext(context.Background(), inst)
+}
+
+// ScheduleContext is Schedule with cooperative cancellation: the round loop
+// polls ctx once per round, so cancellation and deadlines take effect after
+// at most one round of configuration enumeration.
+func (s *Scheduler) ScheduleContext(ctx context.Context, inst *core.Instance) (*core.Schedule, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -121,6 +129,9 @@ func (s *Scheduler) Schedule(inst *core.Instance) (*core.Schedule, error) {
 	totalConfigs := 1
 
 	for t := 0; ; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		current := rounds[t]
 		var next []*config
 		seen := make(map[string]int)
@@ -153,7 +164,10 @@ func (s *Scheduler) Schedule(inst *core.Instance) (*core.Schedule, error) {
 			}
 		}
 
-		next = pruneDominated(next)
+		next, err := pruneDominated(ctx, next)
+		if err != nil {
+			return nil, err
+		}
 		totalConfigs += len(next)
 		if totalConfigs > maxConfigs {
 			return nil, fmt.Errorf("optresm: configuration limit of %d exceeded (instance too large for the exact algorithm)", maxConfigs)
@@ -292,10 +306,17 @@ func derive(inst *core.Instance, c *config, finish []int, partial int, amount fl
 
 // pruneDominated removes every configuration dominated by another one in the
 // same round. When two configurations dominate each other (identical state)
-// the one with the lower index is kept.
-func pruneDominated(configs []*config) []*config {
+// the one with the lower index is kept. The quadratic sweep polls ctx every
+// few outer iterations: on large rounds it is by far the longest
+// uninterruptible stretch of the algorithm.
+func pruneDominated(ctx context.Context, configs []*config) ([]*config, error) {
 	removed := make([]bool, len(configs))
 	for i := range configs {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if removed[i] {
 			continue
 		}
@@ -316,7 +337,7 @@ func pruneDominated(configs []*config) []*config {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // reconstruct walks the parent chain of the final configuration and emits the

@@ -1,0 +1,87 @@
+package optresm
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"crsharing/internal/core"
+	"crsharing/internal/gen"
+)
+
+// TestParallelMatchesSerial checks that the chunked fan-out enumeration finds
+// the same optimal makespan as the serial scheduler, with identical schedule
+// lengths, on random instances.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140623))
+	for trial := 0; trial < 12; trial++ {
+		m := 2 + rng.Intn(2)
+		jobs := 2 + rng.Intn(2)
+		inst := gen.Random(rng, m, jobs, 0.05, 1.0)
+
+		want, err := New().Makespan(inst)
+		if err != nil {
+			t.Fatalf("trial %d: serial: %v", trial, err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			s := &ParallelScheduler{Workers: workers}
+			sched, err := s.Schedule(inst)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			res, err := core.Execute(inst, sched)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: invalid schedule: %v", trial, workers, err)
+			}
+			if !res.Finished() {
+				t.Fatalf("trial %d workers=%d: incomplete schedule", trial, workers)
+			}
+			if got := res.Makespan(); got != want {
+				t.Fatalf("trial %d workers=%d: makespan %d, want %d\n%v", trial, workers, got, want, inst)
+			}
+		}
+	}
+}
+
+// TestParallelRejectsUnsupported mirrors the serial domain checks.
+func TestParallelRejectsUnsupported(t *testing.T) {
+	reqs := make([][]float64, MaxProcessors+1)
+	for i := range reqs {
+		reqs[i] = []float64{0.5}
+	}
+	inst := core.NewInstance(reqs...)
+	if _, err := NewParallel().Schedule(inst); err == nil {
+		t.Fatal("expected error for too many processors")
+	}
+}
+
+// TestParallelCancellation cancels the enumeration mid-run on an instance
+// whose configuration space is large and requires a prompt return.
+func TestParallelCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inst := gen.Random(rng, 8, 24, 0.05, 0.45)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// A modest configuration cap bounds the run even if the cancellation
+		// loses the race against the enumeration.
+		s := &ParallelScheduler{MaxConfigs: 20_000}
+		_, err := s.ScheduleContext(ctx, inst)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		// The enumeration may legitimately finish (or hit its configuration
+		// limit) before the cancellation lands; only a hang is a failure.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Logf("finished with non-cancellation error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("parallel enumeration did not return after cancellation")
+	}
+}

@@ -209,7 +209,7 @@ func runE11(cfg Config) (*Result, error) {
 	times := make([]time.Duration, len(contenders))
 	for trial := 0; trial < trials; trial++ {
 		inst := gen.Random(rng, m, jobs, 0.05, 1.0)
-		opt, err := branchbound.New().Makespan(inst)
+		opt, err := cfg.ExactMakespan(inst)
 		if err != nil {
 			return nil, err
 		}

@@ -288,12 +288,7 @@ func runE5(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			var opt int
-			if rc.m == 2 {
-				opt, err = optres2.New().Makespan(inst)
-			} else {
-				opt, err = bruteforce.Makespan(inst)
-			}
+			opt, err := cfg.ExactMakespan(inst)
 			if err != nil {
 				return nil, err
 			}

@@ -6,9 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
+
+	"crsharing/internal/core"
+	"crsharing/internal/solver"
 )
 
 // Config controls the size of the experiment runs.
@@ -19,6 +24,12 @@ type Config struct {
 	// in well under a second (used by tests and short benchmarks). The full
 	// runs used for EXPERIMENTS.md set Quick to false.
 	Quick bool
+	// Timeout bounds every exact-optimum oracle call made through
+	// ExactMakespan (0 = no limit).
+	Timeout time.Duration
+	// Workers bounds the worker pool of the parallel exact solvers used by
+	// ExactMakespan (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultConfig returns the configuration used for the recorded results.
@@ -26,6 +37,32 @@ func DefaultConfig() Config { return Config{Seed: 20140623, Quick: false} }
 
 // QuickConfig returns the reduced configuration used by tests.
 func QuickConfig() Config { return Config{Seed: 20140623, Quick: true} }
+
+// ExactMakespan computes the optimal makespan of the instance through the
+// solver registry's exact racing portfolio: the m=2 dynamic program, parallel
+// branch-and-bound and the configuration enumeration run concurrently and the
+// first to finish cancels the rest. It is the experiments' shared optimum
+// oracle; cfg.Timeout and cfg.Workers apply to every call.
+func (cfg Config) ExactMakespan(inst *core.Instance) (int, error) {
+	ctx := context.Background()
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	sched, _, err := solver.NewExactPortfolio(cfg.Workers).Solve(ctx, inst)
+	if err != nil {
+		return 0, fmt.Errorf("experiments: exact oracle: %w", err)
+	}
+	res, err := core.Execute(inst, sched)
+	if err != nil {
+		return 0, fmt.Errorf("experiments: exact oracle produced invalid schedule: %w", err)
+	}
+	if !res.Finished() {
+		return 0, fmt.Errorf("experiments: exact oracle schedule incomplete")
+	}
+	return res.Makespan(), nil
+}
 
 // Result is the outcome of one experiment: a table plus free-form notes.
 type Result struct {

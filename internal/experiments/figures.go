@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"crsharing/internal/algo"
-	"crsharing/internal/algo/branchbound"
 	"crsharing/internal/algo/greedybalance"
 	"crsharing/internal/algo/optres2"
 	"crsharing/internal/algo/optresm"
@@ -275,7 +274,7 @@ func runF5(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		opt, err := branchbound.New().Makespan(inst)
+		opt, err := cfg.ExactMakespan(inst)
 		if err != nil {
 			return nil, err
 		}

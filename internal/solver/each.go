@@ -1,0 +1,90 @@
+package solver
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"crsharing/internal/core"
+)
+
+// Outcome is the result of solving one instance of a batch.
+type Outcome struct {
+	// Index is the instance's position in the input batch.
+	Index    int
+	Schedule *core.Schedule
+	Makespan int
+	Wasted   float64
+	Stats    Stats
+	Err      error
+}
+
+// ParallelEach solves every instance of the batch, sharding the work across a
+// pool of workers (0 = GOMAXPROCS). Each worker gets its own solver from
+// newSolver, so solvers need not be safe for concurrent use. The returned
+// slice is index-aligned with insts. Once the context is cancelled, remaining
+// instances fail fast with ctx.Err(); ParallelEach always waits for its
+// workers before returning.
+func ParallelEach(ctx context.Context, newSolver func() Solver, insts []*core.Instance, workers int) []Outcome {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(insts) {
+		workers = len(insts)
+	}
+	outcomes := make([]Outcome, len(insts))
+	if len(insts) == 0 {
+		return outcomes
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newSolver()
+			for idx := range indices {
+				outcomes[idx] = solveOne(ctx, s, idx, insts[idx])
+			}
+		}()
+	}
+feed:
+	for idx := range insts {
+		select {
+		case indices <- idx:
+		case <-ctx.Done():
+			// Fail the rest fast; workers drain the closed channel below.
+			for rest := idx; rest < len(insts); rest++ {
+				outcomes[rest] = Outcome{Index: rest, Err: ctx.Err()}
+			}
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+	return outcomes
+}
+
+func solveOne(ctx context.Context, s Solver, idx int, inst *core.Instance) Outcome {
+	out := Outcome{Index: idx}
+	if err := ctx.Err(); err != nil {
+		out.Err = err
+		return out
+	}
+	sched, stats, err := s.Solve(ctx, inst)
+	out.Stats = stats
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	res, err := core.Execute(inst, sched)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Schedule = sched
+	out.Makespan = res.Makespan()
+	out.Wasted = res.Wasted()
+	return out
+}

@@ -1,0 +1,134 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crsharing/internal/core"
+)
+
+// Portfolio runs its members concurrently on the same instance and returns
+// the best schedule any of them produced: lowest makespan, ties broken by
+// less wasted resource, remaining ties by member order (which keeps the
+// result deterministic). Members that return an error are skipped; the
+// portfolio fails only when every member fails.
+//
+// Solve always waits for every member goroutine to return before it returns
+// itself, so a cancelled portfolio leaves no goroutines behind.
+type Portfolio struct {
+	// Members are raced in order; the slice is not modified.
+	Members []Solver
+	// RaceExact cancels the remaining members as soon as an exact member
+	// returns a valid schedule — its result is optimal, so nothing better can
+	// arrive. Heuristic members never trigger the cancellation.
+	RaceExact bool
+}
+
+// NewPortfolio returns a portfolio over the given members.
+func NewPortfolio(members ...Solver) *Portfolio {
+	return &Portfolio{Members: members}
+}
+
+// Name implements Solver.
+func (p *Portfolio) Name() string { return "portfolio" }
+
+// memberResult is the outcome of one member run.
+type memberResult struct {
+	sched    *core.Schedule
+	makespan int
+	wasted   float64
+	elapsed  time.Duration
+	err      error
+}
+
+// Solve implements Solver.
+func (p *Portfolio) Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, Stats, error) {
+	start := time.Now()
+	if len(p.Members) == 0 {
+		return nil, Stats{Solver: p.Name()}, fmt.Errorf("portfolio: no members")
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]memberResult, len(p.Members))
+	var wg sync.WaitGroup
+	for idx, member := range p.Members {
+		wg.Add(1)
+		go func(idx int, member Solver) {
+			defer wg.Done()
+			mstart := time.Now()
+			sched, _, err := member.Solve(cctx, inst)
+			r := memberResult{elapsed: time.Since(mstart), err: err}
+			if err == nil {
+				res, execErr := core.Execute(inst, sched)
+				switch {
+				case execErr != nil:
+					r.err = fmt.Errorf("%s: produced invalid schedule: %w", member.Name(), execErr)
+				case !res.Finished():
+					r.err = fmt.Errorf("%s: schedule does not finish all jobs", member.Name())
+				default:
+					r.sched = sched
+					r.makespan = res.Makespan()
+					r.wasted = res.Wasted()
+				}
+			}
+			results[idx] = r
+			if r.err == nil && p.RaceExact && isExact(member) {
+				cancel()
+			}
+		}(idx, member)
+	}
+	wg.Wait()
+
+	stats := Stats{Solver: p.Name(), Candidates: make([]Candidate, len(p.Members))}
+	bestIdx := -1
+	for idx, r := range results {
+		stats.Candidates[idx] = Candidate{
+			Solver:   p.Members[idx].Name(),
+			Makespan: r.makespan,
+			Wasted:   r.wasted,
+			Elapsed:  r.elapsed,
+			Err:      r.err,
+		}
+		if r.err != nil {
+			continue
+		}
+		if bestIdx < 0 ||
+			r.makespan < results[bestIdx].makespan ||
+			(r.makespan == results[bestIdx].makespan && r.wasted < results[bestIdx].wasted) {
+			bestIdx = idx
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	if bestIdx < 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		return nil, stats, fmt.Errorf("portfolio: every member failed: %w", joinErrors(results))
+	}
+	stats.Solver = p.Members[bestIdx].Name()
+	return results[bestIdx].sched, stats, nil
+}
+
+// isExact reports whether the solver advertises optimality.
+func isExact(s Solver) bool {
+	if e, ok := s.(exactMarker); ok {
+		return e.IsExact()
+	}
+	return false
+}
+
+// joinErrors combines the member errors into one.
+func joinErrors(results []memberResult) error {
+	var errs []error
+	for _, r := range results {
+		if r.err != nil {
+			errs = append(errs, r.err)
+		}
+	}
+	return errors.Join(errs...)
+}

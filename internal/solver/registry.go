@@ -1,0 +1,124 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"crsharing/internal/algo"
+	"crsharing/internal/algo/branchbound"
+	"crsharing/internal/algo/chunked"
+	"crsharing/internal/algo/greedybalance"
+	"crsharing/internal/algo/optres2"
+	"crsharing/internal/algo/optresm"
+	"crsharing/internal/algo/roundrobin"
+)
+
+// Registry maps solver names to constructors so the CLI tools and the
+// experiment harness can select solvers by name. It is safe for concurrent
+// use.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]func() Solver
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]func() Solver)}
+}
+
+// Register adds a constructor under the solver's name. Registering the same
+// name twice panics: it is a programming error.
+func (r *Registry) Register(factory func() Solver) {
+	name := factory().Name()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
+		panic(fmt.Sprintf("solver: duplicate registration of %q", name))
+	}
+	r.factories[name] = factory
+}
+
+// New returns a fresh solver instance by name.
+func (r *Registry) New(name string) (Solver, error) {
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown solver %q (available: %v)", name, r.Names())
+	}
+	return f(), nil
+}
+
+// Names returns the registered solver names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Default returns a registry holding every scheduler of the repository — the
+// seven algo packages plus the parallel kernels and the default portfolio.
+func Default() *Registry {
+	r := NewRegistry()
+	r.Register(func() Solver { return Adapt(roundrobin.New()) })
+	r.Register(func() Solver { return Adapt(greedybalance.New()) })
+	r.Register(func() Solver { return Adapt(greedybalance.NewWithTie(greedybalance.SmallerRemaining)) })
+	r.Register(func() Solver { return Adapt(greedybalance.NewUnbalanced(greedybalance.LargerRemaining)) })
+	r.Register(func() Solver { return Adapt(optres2.New()) })
+	r.Register(func() Solver { return Adapt(optres2.NewPQ()) })
+	r.Register(func() Solver { return Adapt(optresm.New()) })
+	r.Register(func() Solver { return Adapt(optresm.NewParallel()) })
+	r.Register(func() Solver { return Adapt(branchbound.New()) })
+	r.Register(func() Solver { return Adapt(branchbound.NewParallel()) })
+	r.Register(func() Solver { return Adapt(chunked.New(2)) })
+	r.Register(func() Solver { return Adapt(chunked.New(3)) })
+	r.Register(func() Solver { return NewDefaultPortfolio() })
+	return r
+}
+
+// NewDefaultPortfolio races the fast heuristics against the exact solvers and
+// returns the best schedule any of them finds. Members that reject the
+// instance (wrong processor count, non-unit sizes) are simply skipped, so the
+// portfolio accepts every instance at least one member accepts.
+func NewDefaultPortfolio() *Portfolio {
+	return NewPortfolio(
+		Adapt(greedybalance.New()),
+		Adapt(roundrobin.New()),
+		Adapt(chunked.New(2)),
+		Adapt(optres2.New()),
+		Adapt(optresm.New()),
+		Adapt(branchbound.NewParallel()),
+	)
+}
+
+// NewExactPortfolio races only the exact solvers and cancels the rest as soon
+// as one of them succeeds — the cheapest applicable optimum oracle wins (the
+// m=2 dynamic program on two processors, branch-and-bound or the
+// configuration enumeration elsewhere). workers bounds the parallel
+// branch-and-bound pool (0 = GOMAXPROCS).
+func NewExactPortfolio(workers int) *Portfolio {
+	p := NewPortfolio(
+		Adapt(optres2.New()),
+		Adapt(&branchbound.ParallelScheduler{Workers: workers}),
+		Adapt(optresm.New()),
+	)
+	p.RaceExact = true
+	return p
+}
+
+// compile-time interface checks for the adapters the registry hands out.
+var (
+	_ ContextScheduler = (*branchbound.Scheduler)(nil)
+	_ ContextScheduler = (*branchbound.ParallelScheduler)(nil)
+	_ ContextScheduler = (*optresm.Scheduler)(nil)
+	_ ContextScheduler = (*optresm.ParallelScheduler)(nil)
+	_ ContextScheduler = (*chunked.Scheduler)(nil)
+	_ algo.Scheduler   = (*branchbound.ParallelScheduler)(nil)
+	_ algo.Scheduler   = (*optresm.ParallelScheduler)(nil)
+)

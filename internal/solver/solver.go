@@ -1,0 +1,153 @@
+// Package solver unifies every scheduling algorithm of this repository behind
+// a single context-aware interface and adds the concurrency layer on top of
+// it: a registry the CLIs select solvers from, a parallel portfolio runner
+// that races several solvers on one instance and keeps the best schedule, and
+// a ParallelEach helper that shards a batch of instances across a worker
+// pool for experiment-scale throughput.
+//
+// The packages under internal/algo stay synchronous and single-purpose; this
+// package adapts them (algo.Scheduler -> Solver) and recognises the ones that
+// natively support cooperative cancellation through a ScheduleContext method
+// (branch-and-bound, the configuration enumeration, the chunked heuristic and
+// their parallel variants).
+package solver
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"crsharing/internal/algo"
+	"crsharing/internal/core"
+)
+
+// Stats carries bookkeeping about one Solve call.
+type Stats struct {
+	// Solver is the name of the solver that produced the returned schedule.
+	// For a portfolio this is the winning member, not the portfolio itself.
+	Solver string
+	// Elapsed is the wall-clock duration of the Solve call.
+	Elapsed time.Duration
+	// Candidates records the per-member outcomes of a portfolio run; it is
+	// empty for plain solvers.
+	Candidates []Candidate
+}
+
+// Candidate is the outcome of one portfolio member.
+type Candidate struct {
+	Solver   string
+	Makespan int
+	Wasted   float64
+	Elapsed  time.Duration
+	Err      error
+}
+
+// Solver computes a feasible schedule for a CRSharing instance under a
+// context: implementations return promptly with ctx.Err() once the context is
+// cancelled or its deadline passes.
+type Solver interface {
+	// Name returns a short stable identifier, e.g. "branch-and-bound-parallel".
+	Name() string
+	// Solve computes a complete feasible schedule for the instance.
+	Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, Stats, error)
+}
+
+// ContextScheduler is implemented by algo packages whose kernels poll a
+// context (serial and parallel branch-and-bound, the configuration
+// enumeration, the chunked heuristic).
+type ContextScheduler interface {
+	algo.Scheduler
+	ScheduleContext(ctx context.Context, inst *core.Instance) (*core.Schedule, error)
+}
+
+// exactMarker matches algo.Exact and the parallel exact schedulers.
+type exactMarker interface{ IsExact() bool }
+
+// adapted lifts an algo.Scheduler to the Solver interface.
+type adapted struct {
+	s algo.Scheduler
+}
+
+// Adapt wraps a synchronous algo.Scheduler as a Solver. If the scheduler
+// implements ContextScheduler the context is forwarded into its kernel;
+// otherwise the context is only checked before the (synchronous) call, which
+// is adequate for the polynomial-time schedulers.
+func Adapt(s algo.Scheduler) Solver { return &adapted{s: s} }
+
+func (a *adapted) Name() string { return a.s.Name() }
+
+// IsExact reports whether the underlying scheduler is exact.
+func (a *adapted) IsExact() bool {
+	if e, ok := a.s.(exactMarker); ok {
+		return e.IsExact()
+	}
+	return false
+}
+
+func (a *adapted) Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, Stats, error) {
+	start := time.Now()
+	var sched *core.Schedule
+	var err error
+	if cs, ok := a.s.(ContextScheduler); ok {
+		sched, err = cs.ScheduleContext(ctx, inst)
+	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, Stats{Solver: a.s.Name()}, err
+		}
+		sched, err = a.s.Schedule(inst)
+	}
+	st := Stats{Solver: a.s.Name(), Elapsed: time.Since(start)}
+	if err != nil {
+		return nil, st, fmt.Errorf("%s: %w", a.s.Name(), err)
+	}
+	return sched, st, nil
+}
+
+// Evaluation bundles a schedule with the quantities reported about it. It
+// mirrors algo.Evaluation and adds the solve statistics.
+type Evaluation struct {
+	Algorithm  string
+	Schedule   *core.Schedule
+	Makespan   int
+	LowerBound int
+	Ratio      float64
+	Properties core.Properties
+	Wasted     float64
+	Stats      Stats
+}
+
+// Evaluate runs the solver on the instance under the context, executes the
+// resulting schedule and returns the evaluation. It fails if the solver errs,
+// the schedule is infeasible, or it does not finish all jobs.
+func Evaluate(ctx context.Context, s Solver, inst *core.Instance) (*Evaluation, error) {
+	sched, st, err := s.Solve(ctx, inst)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Execute(inst, sched)
+	if err != nil {
+		return nil, fmt.Errorf("%s: produced invalid schedule: %w", s.Name(), err)
+	}
+	if !res.Finished() {
+		return nil, fmt.Errorf("%s: schedule does not finish all jobs", s.Name())
+	}
+	lb := core.LowerBounds(inst).Best()
+	ev := &Evaluation{
+		Algorithm:  s.Name(),
+		Schedule:   sched,
+		Makespan:   res.Makespan(),
+		LowerBound: lb,
+		Properties: core.CheckProperties(res),
+		Wasted:     res.Wasted(),
+		Stats:      st,
+	}
+	if ev.Stats.Solver != "" && ev.Stats.Solver != s.Name() {
+		ev.Algorithm = fmt.Sprintf("%s (via %s)", ev.Stats.Solver, s.Name())
+	}
+	if lb > 0 {
+		ev.Ratio = float64(ev.Makespan) / float64(lb)
+	} else {
+		ev.Ratio = 1
+	}
+	return ev, nil
+}

@@ -1,0 +1,282 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"crsharing/internal/algo/branchbound"
+	"crsharing/internal/algo/bruteforce"
+	"crsharing/internal/algo/greedybalance"
+	"crsharing/internal/core"
+	"crsharing/internal/gen"
+)
+
+// corpus returns the small-instance corpus used by the cross-solver
+// equivalence suite: random unit-size instances in the size range every
+// registered solver (that accepts the processor count) can handle.
+func corpus() []*core.Instance {
+	rng := rand.New(rand.NewSource(20140623))
+	var insts []*core.Instance
+	for trial := 0; trial < 15; trial++ {
+		m := 2 + rng.Intn(2)
+		jobs := 2 + rng.Intn(2)
+		insts = append(insts, gen.Random(rng, m, jobs, 0.05, 1.0))
+	}
+	insts = append(insts, gen.Figure1(), gen.Figure2(), gen.Figure3(6))
+	return insts
+}
+
+// TestPortfolioNotWorseThanAnyMember is the acceptance property of the
+// portfolio: on every corpus instance its makespan is at most the makespan of
+// every individual registered solver that accepts the instance.
+func TestPortfolioNotWorseThanAnyMember(t *testing.T) {
+	reg := Default()
+	ctx := context.Background()
+	for ci, inst := range corpus() {
+		best := -1
+		bestName := ""
+		for _, name := range reg.Names() {
+			if name == "portfolio" {
+				continue
+			}
+			s, err := reg.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := Evaluate(ctx, s, inst)
+			if err != nil {
+				continue // solver rejects the instance (e.g. m != 2 for the DP)
+			}
+			if best < 0 || ev.Makespan < best {
+				best, bestName = ev.Makespan, name
+			}
+		}
+		if best < 0 {
+			t.Fatalf("corpus %d: no individual solver accepted the instance", ci)
+		}
+		port, err := reg.New("portfolio")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := Evaluate(ctx, port, inst)
+		if err != nil {
+			t.Fatalf("corpus %d: portfolio: %v", ci, err)
+		}
+		if ev.Makespan > best {
+			t.Fatalf("corpus %d: portfolio makespan %d worse than %s's %d", ci, ev.Makespan, bestName, best)
+		}
+	}
+}
+
+// TestPortfolioMatchesBruteforce pins the portfolio to the independent
+// optimum oracle on the corpus: the default portfolio contains exact members,
+// so its result must be optimal wherever the oracle applies.
+func TestPortfolioMatchesBruteforce(t *testing.T) {
+	ctx := context.Background()
+	for ci, inst := range corpus() {
+		if !inst.IsUnitSize() || inst.TotalJobs() > 12 {
+			continue
+		}
+		want, err := bruteforce.Makespan(inst)
+		if err != nil {
+			continue
+		}
+		ev, err := Evaluate(ctx, NewDefaultPortfolio(), inst)
+		if err != nil {
+			t.Fatalf("corpus %d: %v", ci, err)
+		}
+		if ev.Makespan != want {
+			t.Fatalf("corpus %d: portfolio makespan %d, bruteforce optimum %d\n%v", ci, ev.Makespan, want, inst)
+		}
+	}
+}
+
+// TestExactPortfolioRace checks the exact-only racing portfolio against the
+// oracle and confirms the winner is one of its members.
+func TestExactPortfolioRace(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		m := 2 + rng.Intn(2)
+		inst := gen.Random(rng, m, 2+rng.Intn(2), 0.05, 1.0)
+		want, err := bruteforce.Makespan(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, stats, err := NewExactPortfolio(0).Solve(ctx, inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := core.Execute(inst, sched)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Makespan() != want {
+			t.Fatalf("trial %d: exact portfolio makespan %d, want %d", trial, res.Makespan(), want)
+		}
+		if stats.Solver == "" || stats.Solver == "portfolio" {
+			t.Fatalf("trial %d: winner not reported: %+v", trial, stats)
+		}
+	}
+}
+
+// hardInstance is an adversarial instance whose exact search runs for many
+// minutes serially, used to guarantee that cancellation lands mid-solve.
+func hardInstance() *core.Instance {
+	const m, blocks = 7, 3
+	return gen.GreedyWorstCase(m, blocks, 1.0/float64(20*m*(m+1)))
+}
+
+// TestPortfolioCancelMidSolveNoLeak cancels a portfolio mid-solve and asserts
+// a prompt return and no leaked goroutines.
+func TestPortfolioCancelMidSolveNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	port := NewPortfolio(
+		Adapt(branchbound.New()),
+		Adapt(branchbound.NewParallel()),
+		Adapt(greedybalance.New()),
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The greedy member succeeds instantly; the branch-and-bound members
+		// must be cut short by the cancellation. The portfolio still returns
+		// the greedy schedule.
+		sched, _, err := port.Solve(ctx, hardInstance())
+		if err != nil {
+			t.Errorf("portfolio failed: %v", err)
+			return
+		}
+		if sched == nil || sched.Steps() == 0 {
+			t.Error("portfolio returned empty schedule")
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("portfolio did not return promptly after cancellation")
+	}
+
+	// All member goroutines must be gone shortly after Solve returned.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if now := runtime.NumGoroutine(); now <= before+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestPortfolioDeadline runs the portfolio of only-slow members against a
+// deadline and asserts it reports the context error.
+func TestPortfolioDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	port := NewPortfolio(Adapt(branchbound.NewParallel()))
+	start := time.Now()
+	_, _, err := port.Solve(ctx, hardInstance())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("portfolio took %v to honour a 50ms deadline", elapsed)
+	}
+}
+
+// TestParallelEach shards a batch across workers and checks the outcomes
+// against solving each instance serially.
+func TestParallelEach(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var insts []*core.Instance
+	for i := 0; i < 24; i++ {
+		insts = append(insts, gen.Random(rng, 2+rng.Intn(3), 2+rng.Intn(4), 0.05, 1.0))
+	}
+	newSolver := func() Solver { return Adapt(greedybalance.New()) }
+
+	want := make([]int, len(insts))
+	for i, inst := range insts {
+		ev, err := Evaluate(context.Background(), newSolver(), inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ev.Makespan
+	}
+
+	for _, workers := range []int{0, 1, 3, 64} {
+		outcomes := ParallelEach(context.Background(), newSolver, insts, workers)
+		if len(outcomes) != len(insts) {
+			t.Fatalf("workers=%d: got %d outcomes, want %d", workers, len(outcomes), len(insts))
+		}
+		for i, out := range outcomes {
+			if out.Err != nil {
+				t.Fatalf("workers=%d instance %d: %v", workers, i, out.Err)
+			}
+			if out.Index != i {
+				t.Fatalf("workers=%d: outcome %d has index %d", workers, i, out.Index)
+			}
+			if out.Makespan != want[i] {
+				t.Fatalf("workers=%d instance %d: makespan %d, want %d", workers, i, out.Makespan, want[i])
+			}
+		}
+	}
+}
+
+// TestParallelEachCancelled pre-cancels the context: every outcome must carry
+// the context error and the call must not hang.
+func TestParallelEachCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	insts := []*core.Instance{gen.Figure1(), gen.Figure2()}
+	outcomes := ParallelEach(ctx, func() Solver { return Adapt(greedybalance.New()) }, insts, 2)
+	for i, out := range outcomes {
+		if !errors.Is(out.Err, context.Canceled) {
+			t.Fatalf("instance %d: got %v, want context.Canceled", i, out.Err)
+		}
+	}
+}
+
+// TestRegistry covers lookup, unknown names and duplicate registration.
+func TestRegistry(t *testing.T) {
+	reg := Default()
+	names := reg.Names()
+	if len(names) < 10 {
+		t.Fatalf("expected at least 10 registered solvers, got %v", names)
+	}
+	for _, want := range []string{"greedy-balance", "branch-and-bound-parallel", "opt-res-assignment-2-parallel", "portfolio"} {
+		if _, err := reg.New(want); err != nil {
+			t.Fatalf("missing %q: %v", want, err)
+		}
+	}
+	if _, err := reg.New("no-such-solver"); err == nil {
+		t.Fatal("expected error for unknown solver")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	reg.Register(func() Solver { return Adapt(greedybalance.New()) })
+}
+
+// TestAdapterForwardsContext confirms that a context-aware scheduler wrapped
+// by Adapt honours cancellation.
+func TestAdapterForwardsContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, _, err := Adapt(branchbound.New()).Solve(ctx, hardInstance())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
