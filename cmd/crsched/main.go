@@ -10,11 +10,17 @@
 //	crsched -algo branch-and-bound-parallel -in instance.json -timeout 30s
 //	crsched -algo portfolio -in instance.json -schedule
 //	crgen ... | crsched -batch -algo greedy-balance -workers 8
+//
+// In batch mode instances that were never attempted because the -timeout
+// deadline expired are reported as "cancelled", separately from solver
+// failures; the exit code is 1 when any attempted instance failed and 3
+// when the only losses were cancellations.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -65,6 +71,9 @@ func main() {
 	if *batch {
 		if err := runBatch(ctx, reg, *algoName, data, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			if errors.Is(err, errBatchCancelled) {
+				os.Exit(3)
+			}
 			os.Exit(1)
 		}
 		return
@@ -135,8 +144,15 @@ func main() {
 	}
 }
 
+// errBatchCancelled marks a batch in which some instances were never
+// attempted because the context expired, but no attempted instance failed.
+// main maps it to exit code 3, distinct from exit 1 for solver failures.
+var errBatchCancelled = errors.New("cancelled before being attempted")
+
 // runBatch parses a JSON array of instances and solves them all through
-// solver.ParallelEach, printing one summary line per instance.
+// solver.ParallelEach, printing one summary line per instance. Instances the
+// fail-fast path never handed to a solver (Outcome.Skipped) are reported as
+// "cancelled", not as solver failures.
 func runBatch(ctx context.Context, reg *solver.Registry, algoName string, data []byte, workers int) error {
 	var insts []*core.Instance
 	if err := json.Unmarshal(data, &insts); err != nil {
@@ -153,18 +169,27 @@ func runBatch(ctx context.Context, reg *solver.Registry, algoName string, data [
 		return s
 	}
 	outcomes := solver.ParallelEach(ctx, newSolver, insts, workers)
-	failed := 0
+	failed, cancelled := 0, 0
 	for _, out := range outcomes {
-		if out.Err != nil {
+		switch {
+		case out.Skipped:
+			cancelled++
+			fmt.Printf("#%-3d cancelled: not attempted (%v)\n", out.Index, out.Err)
+		case out.Err != nil:
 			failed++
 			fmt.Printf("#%-3d error: %v\n", out.Index, out.Err)
-			continue
+		default:
+			fmt.Printf("#%-3d makespan=%-4d waste=%.4f solver=%s in %s\n",
+				out.Index, out.Makespan, out.Wasted, out.Stats.Solver, out.Stats.Elapsed.Round(time.Microsecond))
 		}
-		fmt.Printf("#%-3d makespan=%-4d waste=%.4f solver=%s in %s\n",
-			out.Index, out.Makespan, out.Wasted, out.Stats.Solver, out.Stats.Elapsed.Round(time.Microsecond))
 	}
+	solved := len(insts) - failed - cancelled
+	fmt.Printf("batch: %d solved, %d failed, %d cancelled of %d\n", solved, failed, cancelled, len(insts))
 	if failed > 0 {
-		return fmt.Errorf("crsched: %d of %d instances failed", failed, len(insts))
+		return fmt.Errorf("crsched: %d of %d instances failed (%d cancelled)", failed, len(insts), cancelled)
+	}
+	if cancelled > 0 {
+		return fmt.Errorf("crsched: %d of %d instances %w", cancelled, len(insts), errBatchCancelled)
 	}
 	return nil
 }

@@ -1,0 +1,77 @@
+// Command crserved is the long-running scheduling service: it serves solve
+// requests over HTTP from the full solver registry, memoises evaluations in
+// a sharded LRU cache keyed by canonical instance fingerprints, deduplicates
+// concurrent identical solves, and shards batch requests across a bounded
+// worker pool.
+//
+// Usage:
+//
+//	crserved -addr :8080
+//	crserved -addr :8080 -solver portfolio -cache-capacity 4096 -max-concurrent 16
+//
+// Example session:
+//
+//	crgen -kind figure3 -n 12 > inst.json
+//	curl -s localhost:8080/v1/solve -d "{\"instance\": $(cat inst.json)}"
+//	curl -s localhost:8080/metrics | grep crsharing_cache
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, giving in-flight
+// requests -grace to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crsharing"
+	"crsharing/internal/service"
+	"crsharing/internal/solver"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	defaultSolver := flag.String("solver", "portfolio", "solver used when a request names none")
+	cacheShards := flag.Int("cache-shards", 16, "memo cache shard count")
+	cacheCapacity := flag.Int("cache-capacity", 4096, "memo cache capacity (evaluations, across all shards); 0 disables caching")
+	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "deadline for requests that specify none")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper clamp on request-supplied deadlines")
+	maxBatch := flag.Int("max-batch", 1024, "maximum instances per batch request")
+	maxConcurrent := flag.Int("max-concurrent", 16, "global cap on concurrently running solves")
+	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	var cache *solver.Cache
+	if *cacheCapacity > 0 {
+		cache = solver.NewCache(*cacheShards, *cacheCapacity)
+	}
+	srv, err := service.New(service.Config{
+		Registry:       solver.Default(),
+		Cache:          cache,
+		DefaultSolver:  *defaultSolver,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBatch:       *maxBatch,
+		MaxConcurrent:  *maxConcurrent,
+		Version:        crsharing.Version,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("crserved %s listening on %s (solver=%s cache=%d max-concurrent=%d)",
+		crsharing.Version, *addr, *defaultSolver, *cacheCapacity, *maxConcurrent)
+	if err := srv.Run(ctx, *addr, *grace); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("crserved: shut down cleanly")
+}

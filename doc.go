@@ -29,6 +29,21 @@
 //   - ParallelEach: shards a batch of instances across a worker pool
 //     (GOMAXPROCS by default) for experiment-scale throughput.
 //
+// # Serving layer
+//
+// internal/service and cmd/crserved turn the solver subsystem into a
+// long-running HTTP service. Instances are identified by a canonical
+// fingerprint (core.Fingerprint: an order-normalized hash of the processor
+// and job data, so permuting identical processors maps to the same key) and
+// evaluations are memoised in a sharded LRU cache (solver.Cache) with
+// singleflight deduplication: any number of concurrent identical requests
+// trigger exactly one solve, and repeats are replayed from memory. Endpoints
+// cover single solves, batch solves (fanned out through ParallelEach under a
+// global concurrency limit shared with the single-solve path), solver
+// listing, a liveness probe and Prometheus-format metrics; every solve runs
+// under a per-request deadline and the process drains gracefully on
+// SIGINT/SIGTERM.
+//
 // The two hottest exact kernels are parallel internally as well:
 // branch-and-bound explores frontier subtrees on a worker pool with a shared
 // atomic incumbent bound and a bounded hand-off queue, and the configuration

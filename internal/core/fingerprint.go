@@ -1,0 +1,104 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+)
+
+// Fingerprint is a canonical, order-normalized identity of an instance: two
+// instances that differ only in the order of their processors (the processors
+// are identical, so permuting them yields an equivalent scheduling problem)
+// hash to the same fingerprint, while any change to a job's requirement,
+// size, or position within its processor's sequence changes it. It is the
+// memo-cache key of the serving layer.
+type Fingerprint [sha256.Size]byte
+
+// String returns the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Short returns the first 12 hex digits, enough for log lines and metrics
+// labels.
+func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
+
+// procBlobs serializes each processor's job sequence into a comparable byte
+// string: 16 bytes per job (requirement and size as little-endian IEEE 754
+// bits), with negative zeros normalized to positive zero so that instances
+// Equal up to the sign of zero serialize identically.
+func (in *Instance) procBlobs() []string {
+	blobs := make([]string, len(in.Procs))
+	var buf []byte
+	for i, js := range in.Procs {
+		buf = buf[:0]
+		for _, j := range js {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(j.Req+0))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(j.Size+0))
+		}
+		blobs[i] = string(buf)
+	}
+	return blobs
+}
+
+// CanonicalProcOrder returns the instance's processor indices sorted by
+// their canonical serialization (ties by index, so the order is
+// deterministic). Two instances with equal fingerprints list pairwise
+// identical job sequences under this order, which is what makes schedules
+// transferable between them — see RemapScheduleProcs.
+func (in *Instance) CanonicalProcOrder() []int {
+	blobs := in.procBlobs()
+	order := make([]int, len(blobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return blobs[order[a]] < blobs[order[b]] })
+	return order
+}
+
+// RemapScheduleProcs transfers a schedule computed for instance from onto
+// instance to, which must have the same fingerprint: the processor columns
+// are permuted so that column i of the result feeds the processor of to
+// whose job sequence matches the one column i fed in from. Processors with
+// identical job sequences are interchangeable, so any consistent matching is
+// valid. When the instances already list their processors in the same order
+// the schedule is returned unchanged.
+func RemapScheduleProcs(from, to *Instance, sched *Schedule) *Schedule {
+	if from.Equal(to) {
+		return sched
+	}
+	fromOrder := from.CanonicalProcOrder()
+	toOrder := to.CanonicalProcOrder()
+	out := NewSchedule(sched.Steps(), to.NumProcessors())
+	for k := range toOrder {
+		src, dst := fromOrder[k], toOrder[k]
+		for t := range out.Alloc {
+			out.Alloc[t][dst] = sched.Share(t, src)
+		}
+	}
+	return out
+}
+
+// Fingerprint computes the instance's canonical fingerprint.
+//
+// Each processor's job sequence is serialized in order (job order on a
+// processor is part of the problem), the per-processor blobs are sorted
+// byte-wise to normalize processor order, and the sorted, length-framed
+// concatenation is hashed with SHA-256.
+func (in *Instance) Fingerprint() Fingerprint {
+	blobs := in.procBlobs()
+	sort.Strings(blobs)
+
+	h := sha256.New()
+	var frame [8]byte
+	binary.LittleEndian.PutUint64(frame[:], uint64(len(blobs)))
+	h.Write(frame[:])
+	for _, b := range blobs {
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(b)))
+		h.Write(frame[:])
+		h.Write([]byte(b))
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

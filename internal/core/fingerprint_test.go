@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := NewInstance([]float64{0.3, 0.7}, []float64{0.5})
+	b := NewInstance([]float64{0.3, 0.7}, []float64{0.5})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical instances must share a fingerprint")
+	}
+	if a.Fingerprint() != a.Clone().Fingerprint() {
+		t.Fatal("clone must share the fingerprint")
+	}
+}
+
+func TestFingerprintProcessorOrderNormalized(t *testing.T) {
+	a := NewInstance([]float64{0.3, 0.7}, []float64{0.5}, []float64{0.9, 0.1})
+	b := NewInstance([]float64{0.9, 0.1}, []float64{0.3, 0.7}, []float64{0.5})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("permuting processors must not change the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := NewInstance([]float64{0.3, 0.7}, []float64{0.5})
+	fp := base.Fingerprint()
+	cases := map[string]*Instance{
+		"job requirement": NewInstance([]float64{0.3, 0.6}, []float64{0.5}),
+		"job order":       NewInstance([]float64{0.7, 0.3}, []float64{0.5}),
+		"job moved":       NewInstance([]float64{0.3}, []float64{0.5, 0.7}),
+		"extra processor": NewInstance([]float64{0.3, 0.7}, []float64{0.5}, nil),
+		"job size": NewSizedInstance(
+			[]Job{{Req: 0.3, Size: 2}, {Req: 0.7, Size: 1}},
+			[]Job{{Req: 0.5, Size: 1}}),
+	}
+	for name, inst := range cases {
+		if inst.Fingerprint() == fp {
+			t.Errorf("%s: change not reflected in fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintEmptyFraming pins down that empty processors are framed, so
+// that e.g. {[], [0.5]} and {[0.5], []} agree while {[0.5]} differs.
+func TestFingerprintEmptyFraming(t *testing.T) {
+	withEmpty := NewInstance(nil, []float64{0.5})
+	withEmptySwapped := NewInstance([]float64{0.5}, nil)
+	without := NewInstance([]float64{0.5})
+	if withEmpty.Fingerprint() != withEmptySwapped.Fingerprint() {
+		t.Fatal("empty processor position must not matter")
+	}
+	if withEmpty.Fingerprint() == without.Fingerprint() {
+		t.Fatal("an empty processor must still change the fingerprint")
+	}
+}
+
+func TestFingerprintNegativeZero(t *testing.T) {
+	a := NewInstance([]float64{0.0})
+	b := NewInstance([]float64{math.Copysign(0, -1)})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("-0 and +0 requirements must agree on the fingerprint")
+	}
+}
+
+// TestRemapScheduleProcs transfers a schedule between permuted-processor
+// instances and checks the remapped schedule is valid for the target: this
+// is what makes processor-order normalization of the fingerprint safe for a
+// cache that hands back full schedules.
+func TestRemapScheduleProcs(t *testing.T) {
+	from := NewInstance([]float64{0.9, 0.9}, []float64{0.1})
+	to := NewInstance([]float64{0.1}, []float64{0.9, 0.9})
+	if from.Fingerprint() != to.Fingerprint() {
+		t.Fatal("test invariant: permuted instances must share a fingerprint")
+	}
+	// A hand-built schedule for from: run the 0.9-jobs at full speed in
+	// steps 1-2 with the 0.1 job alongside.
+	sched := NewSchedule(2, 2)
+	sched.Alloc[0] = []float64{0.9, 0.1}
+	sched.Alloc[1] = []float64{0.9, 0.0}
+	resFrom, err := Execute(from, sched)
+	if err != nil || !resFrom.Finished() {
+		t.Fatalf("schedule invalid for from: %v finished=%v", err, resFrom.Finished())
+	}
+
+	remapped := RemapScheduleProcs(from, to, sched)
+	resTo, err := Execute(to, remapped)
+	if err != nil {
+		t.Fatalf("remapped schedule invalid for to: %v", err)
+	}
+	if !resTo.Finished() {
+		t.Fatal("remapped schedule does not finish to's jobs")
+	}
+	if resTo.Makespan() != resFrom.Makespan() {
+		t.Fatalf("makespan changed under remap: %d vs %d", resTo.Makespan(), resFrom.Makespan())
+	}
+	// The unremapped schedule must NOT finish to's jobs — otherwise this
+	// test exercises nothing.
+	if resBad, err := Execute(to, sched); err == nil && resBad.Finished() && resBad.Makespan() == resFrom.Makespan() {
+		t.Fatal("test invariant: raw schedule should be misaligned for to")
+	}
+
+	// Identical ordering returns the schedule unchanged (same pointer).
+	if RemapScheduleProcs(from, from.Clone(), sched) != sched {
+		t.Fatal("equal instances must short-circuit the remap")
+	}
+}

@@ -1,0 +1,56 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"crsharing/internal/solver"
+)
+
+// metrics holds the server's counters. Everything is atomic: handlers run
+// concurrently and /metrics reads while they write.
+type metrics struct {
+	requestsSolve   atomic.Uint64
+	requestsBatch   atomic.Uint64
+	requestsOther   atomic.Uint64
+	errorsTotal     atomic.Uint64
+	solvesTotal     atomic.Uint64 // fresh solves performed (source=solve)
+	cacheServed     atomic.Uint64 // requests answered without a fresh solve
+	batchInstances  atomic.Uint64
+	batchCancelled  atomic.Uint64
+	solveInflight   atomic.Int64
+	deadlineExpired atomic.Uint64
+}
+
+// write renders the counters (and the cache's, when present) in the
+// Prometheus text exposition format, which is also perfectly readable with
+// curl.
+func (m *metrics) write(w io.Writer, cache *solver.Cache, uptime time.Duration) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("crsharing_requests_solve_total", "POST /v1/solve requests.", m.requestsSolve.Load())
+	counter("crsharing_requests_batch_total", "POST /v1/batch-solve requests.", m.requestsBatch.Load())
+	counter("crsharing_requests_other_total", "Requests to the remaining endpoints.", m.requestsOther.Load())
+	counter("crsharing_errors_total", "Requests answered with a non-2xx status.", m.errorsTotal.Load())
+	counter("crsharing_solves_total", "Fresh solver invocations (cache misses).", m.solvesTotal.Load())
+	counter("crsharing_cache_served_total", "Solve requests answered from the cache or an in-flight solve.", m.cacheServed.Load())
+	counter("crsharing_batch_instances_total", "Instances received in batch requests.", m.batchInstances.Load())
+	counter("crsharing_batch_cancelled_total", "Batch instances never attempted because the deadline expired.", m.batchCancelled.Load())
+	counter("crsharing_deadline_expired_total", "Solve requests that hit their deadline.", m.deadlineExpired.Load())
+	gauge("crsharing_solve_inflight", "Solves currently running.", float64(m.solveInflight.Load()))
+	gauge("crsharing_uptime_seconds", "Seconds since the server started.", uptime.Seconds())
+	if cache != nil {
+		st := cache.Stats()
+		counter("crsharing_cache_hits_total", "Memo cache hits.", st.Hits)
+		counter("crsharing_cache_misses_total", "Memo cache misses.", st.Misses)
+		counter("crsharing_cache_coalesced_total", "Requests coalesced onto an identical in-flight solve.", st.Coalesced)
+		counter("crsharing_cache_evictions_total", "LRU evictions.", st.Evictions)
+		gauge("crsharing_cache_entries", "Evaluations currently cached.", float64(st.Entries))
+	}
+}

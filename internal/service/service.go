@@ -1,0 +1,410 @@
+// Package service is the HTTP serving layer of the scheduling system: a
+// long-running process that answers solve requests over JSON, backed by the
+// solver registry, a sharded LRU memo cache keyed by canonical instance
+// fingerprints (identical requests are solved once and replayed from memory)
+// and singleflight deduplication of concurrent identical solves.
+//
+// Endpoints:
+//
+//	POST /v1/solve        solve one instance (SolveRequest -> SolveResponse)
+//	POST /v1/batch-solve  solve a JSON array of instances via ParallelEach
+//	GET  /v1/solvers      list the registered solver names
+//	GET  /healthz         liveness probe
+//	GET  /metrics         counters in Prometheus text format
+//
+// Every solve runs under a per-request deadline (request-supplied, clamped
+// to the server maximum) and a global concurrency limit shared by the single
+// and batch paths, so a burst of heavy requests degrades into queueing
+// instead of oversubscribing the machine.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"crsharing/internal/core"
+	"crsharing/internal/solver"
+)
+
+// Config configures a Server. The zero value of every optional field is
+// replaced by the documented default in New.
+type Config struct {
+	// Registry resolves solver names; required.
+	Registry *solver.Registry
+	// Cache is the memo cache; nil disables caching (every request solves).
+	Cache *solver.Cache
+	// DefaultSolver is used when a request names none (default "portfolio").
+	DefaultSolver string
+	// DefaultTimeout bounds solves that request no timeout (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeouts (default 2m).
+	MaxTimeout time.Duration
+	// MaxBatch caps the instances of one batch request (default 1024).
+	MaxBatch int
+	// MaxConcurrent caps the solves running at once across all requests
+	// (default 16).
+	MaxConcurrent int
+	// MaxBodyBytes caps request body sizes (default 32 MiB).
+	MaxBodyBytes int64
+	// Version is reported by /healthz.
+	Version string
+}
+
+// Server handles the HTTP API. Create one with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	sem     chan struct{}
+	started time.Time
+	metrics metrics
+}
+
+// New validates the configuration, applies defaults and returns a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("service: Config.Registry is required")
+	}
+	if cfg.DefaultSolver == "" {
+		cfg.DefaultSolver = "portfolio"
+	}
+	if _, err := cfg.Registry.New(cfg.DefaultSolver); err != nil {
+		return nil, fmt.Errorf("service: default solver: %w", err)
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 2 * time.Minute
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 16
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch-solve", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Run serves on addr until ctx is cancelled, then shuts down gracefully:
+// in-flight requests get up to grace to finish before the listener is torn
+// down hard. It returns nil on a clean shutdown.
+func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
+}
+
+// limited wraps a solver so every Solve holds a slot of the server's global
+// semaphore; acquisition respects the request context, so a queued request
+// whose deadline expires fails with the context error instead of waiting.
+type limited struct {
+	inner solver.Solver
+	srv   *Server
+}
+
+func (l limited) Name() string { return l.inner.Name() }
+
+func (l limited) Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, solver.Stats, error) {
+	select {
+	case l.srv.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, solver.Stats{Solver: l.inner.Name()}, ctx.Err()
+	}
+	defer func() { <-l.srv.sem }()
+	l.srv.metrics.solveInflight.Add(1)
+	defer l.srv.metrics.solveInflight.Add(-1)
+	return l.inner.Solve(ctx, inst)
+}
+
+// cached routes batch solves through the memo cache, so duplicate instances
+// within a batch, repeated batches and overlap with the single-solve path
+// all collapse into one underlying solve per fingerprint. It also keeps the
+// solve/cache metrics, which the batch handler cannot see per instance.
+type cached struct {
+	inner solver.Solver // already wrapped in limited
+	srv   *Server
+}
+
+func (c cached) Name() string { return c.inner.Name() }
+
+func (c cached) Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, solver.Stats, error) {
+	ev, src, err := c.srv.cfg.Cache.Evaluate(ctx, c.inner, inst)
+	if err != nil {
+		return nil, solver.Stats{Solver: c.inner.Name()}, err
+	}
+	if src == solver.SourceSolve {
+		c.srv.metrics.solvesTotal.Add(1)
+	} else {
+		c.srv.metrics.cacheServed.Add(1)
+	}
+	return ev.Schedule, ev.Stats, nil
+}
+
+// requestTimeout resolves a request-supplied duration string against the
+// server's default and maximum.
+func (s *Server) requestTimeout(raw string) (time.Duration, error) {
+	d := s.cfg.DefaultTimeout
+	if raw != "" {
+		parsed, err := time.ParseDuration(raw)
+		if err != nil {
+			return 0, fmt.Errorf("invalid timeout %q: %v", raw, err)
+		}
+		if parsed <= 0 {
+			return 0, fmt.Errorf("invalid timeout %q: must be positive", raw)
+		}
+		d = parsed
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// resolveSolver maps the optional request solver name to a registry entry.
+func (s *Server) resolveSolver(name string) (string, solver.Solver, error) {
+	if name == "" {
+		name = s.cfg.DefaultSolver
+	}
+	sv, err := s.cfg.Registry.New(name)
+	return name, sv, err
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsSolve.Add(1)
+	var req SolveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Instance == nil {
+		s.fail(w, http.StatusBadRequest, errors.New("missing instance"))
+		return
+	}
+	if err := req.Instance.Validate(); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	name, sv, err := s.resolveSolver(req.Solver)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout, err := s.requestTimeout(req.Timeout)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	fp := req.Instance.Fingerprint()
+	var (
+		ev  *solver.Evaluation
+		src solver.Source
+	)
+	if s.cfg.Cache != nil {
+		ev, src, err = s.cfg.Cache.EvaluateWithFingerprint(ctx, limited{inner: sv, srv: s}, req.Instance, fp)
+	} else {
+		src = solver.SourceSolve
+		ev, err = solver.Evaluate(ctx, limited{inner: sv, srv: s}, req.Instance)
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.deadlineExpired.Add(1)
+			s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("solve exceeded its %s deadline", timeout))
+			return
+		}
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	if src == solver.SourceSolve {
+		s.metrics.solvesTotal.Add(1)
+	} else {
+		s.metrics.cacheServed.Add(1)
+	}
+	resp := SolveResponse{
+		Solver:      name,
+		Algorithm:   ev.Algorithm,
+		Source:      string(src),
+		Fingerprint: fp.String(),
+		Makespan:    ev.Makespan,
+		LowerBound:  ev.LowerBound,
+		Ratio:       ev.Ratio,
+		Wasted:      ev.Wasted,
+		Properties:  ev.Properties.String(),
+		ElapsedMS:   float64(ev.Stats.Elapsed) / float64(time.Millisecond),
+	}
+	if req.IncludeSchedule {
+		resp.Schedule = ev.Schedule
+	}
+	s.respond(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsBatch.Add(1)
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Instances) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("missing instances"))
+		return
+	}
+	if len(req.Instances) > s.cfg.MaxBatch {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds the maximum of %d", len(req.Instances), s.cfg.MaxBatch))
+		return
+	}
+	for i, inst := range req.Instances {
+		if inst == nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("instance %d is null", i))
+			return
+		}
+		if err := inst.Validate(); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("instance %d: %w", i, err))
+			return
+		}
+	}
+	name, _, err := s.resolveSolver(req.Solver)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout, err := s.requestTimeout(req.Timeout)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.batchInstances.Add(uint64(len(req.Instances)))
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Fan out through ParallelEach; the limited wrapper keeps the batch
+	// inside the same global solve budget as the single-solve path (the
+	// worker count only bounds per-request parallelism), and the cached
+	// wrapper deduplicates against the memo cache when one is configured.
+	newSolver := func() solver.Solver {
+		sv, err := s.cfg.Registry.New(name)
+		if err != nil {
+			panic(err) // unreachable: name validated above
+		}
+		var out solver.Solver = limited{inner: sv, srv: s}
+		if s.cfg.Cache != nil {
+			out = cached{inner: out, srv: s}
+		}
+		return out
+	}
+	outcomes := solver.ParallelEach(ctx, newSolver, req.Instances, s.cfg.MaxConcurrent)
+
+	resp := BatchResponse{Solver: name, Count: len(outcomes), Results: make([]BatchResult, len(outcomes))}
+	for i, out := range outcomes {
+		res := BatchResult{Index: out.Index}
+		switch {
+		case out.Skipped:
+			resp.Cancelled++
+			res.Cancelled = true
+			res.Error = out.Err.Error()
+		case out.Err != nil:
+			resp.Failed++
+			res.Error = out.Err.Error()
+		default:
+			resp.Solved++
+			res.Makespan = out.Makespan
+			res.Wasted = out.Wasted
+			res.Algorithm = out.Stats.Solver
+			res.ElapsedMS = float64(out.Stats.Elapsed) / float64(time.Millisecond)
+			if s.cfg.Cache == nil {
+				s.metrics.solvesTotal.Add(1) // cached wrapper counts otherwise
+			}
+		}
+		resp.Results[i] = res
+	}
+	s.metrics.batchCancelled.Add(uint64(resp.Cancelled))
+	s.respond(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsOther.Add(1)
+	s.respond(w, http.StatusOK, SolversResponse{
+		Solvers: s.cfg.Registry.Names(),
+		Default: s.cfg.DefaultSolver,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsOther.Add(1)
+	s.respond(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Version:       s.cfg.Version,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsOther.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, s.cfg.Cache, time.Since(s.started))
+}
+
+// decode reads the JSON request body into dst, bounding its size and
+// rejecting trailing garbage. It writes the error response itself and
+// reports whether decoding succeeded.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+		return false
+	}
+	if dec.More() {
+		s.fail(w, http.StatusBadRequest, errors.New("trailing data after request body"))
+		return false
+	}
+	return true
+}
+
+func (s *Server) respond(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		// The status line is out; nothing more to do than note the failure.
+		s.metrics.errorsTotal.Add(1)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.metrics.errorsTotal.Add(1)
+	s.respond(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -17,14 +17,20 @@ type Outcome struct {
 	Wasted   float64
 	Stats    Stats
 	Err      error
+	// Skipped reports that the instance was never handed to a solver because
+	// the batch context was already cancelled (Err then carries ctx.Err()).
+	// A false Skipped with a non-nil Err is a real solver failure — possibly
+	// a timeout that struck mid-solve, but the solver did run.
+	Skipped bool
 }
 
 // ParallelEach solves every instance of the batch, sharding the work across a
 // pool of workers (0 = GOMAXPROCS). Each worker gets its own solver from
 // newSolver, so solvers need not be safe for concurrent use. The returned
 // slice is index-aligned with insts. Once the context is cancelled, remaining
-// instances fail fast with ctx.Err(); ParallelEach always waits for its
-// workers before returning.
+// instances fail fast with ctx.Err() and are marked Skipped so callers can
+// tell never-attempted instances from real solver failures; ParallelEach
+// always waits for its workers before returning.
 func ParallelEach(ctx context.Context, newSolver func() Solver, insts []*core.Instance, workers int) []Outcome {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -56,7 +62,7 @@ feed:
 		case <-ctx.Done():
 			// Fail the rest fast; workers drain the closed channel below.
 			for rest := idx; rest < len(insts); rest++ {
-				outcomes[rest] = Outcome{Index: rest, Err: ctx.Err()}
+				outcomes[rest] = Outcome{Index: rest, Err: ctx.Err(), Skipped: true}
 			}
 			break feed
 		}
@@ -70,6 +76,7 @@ func solveOne(ctx context.Context, s Solver, idx int, inst *core.Instance) Outco
 	out := Outcome{Index: idx}
 	if err := ctx.Err(); err != nil {
 		out.Err = err
+		out.Skipped = true
 		return out
 	}
 	sched, stats, err := s.Solve(ctx, inst)

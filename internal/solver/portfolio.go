@@ -45,6 +45,15 @@ type memberResult struct {
 }
 
 // Solve implements Solver.
+//
+// Timeout semantics are best-effort by design: the portfolio keeps whatever
+// valid schedule its members managed to produce, so if at least one member
+// finished before the parent context expired, Solve returns that (possibly
+// sub-optimal) schedule with a nil error even though ctx.Err() is by then
+// non-nil. The context error is surfaced only when no member produced a
+// valid schedule — callers that must distinguish "optimal" from "best found
+// within the budget" should consult ctx.Err() themselves after Solve
+// returns.
 func (p *Portfolio) Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, Stats, error) {
 	start := time.Now()
 	if len(p.Members) == 0 {

@@ -27,10 +27,14 @@ func NewRegistry() *Registry {
 	return &Registry{factories: make(map[string]func() Solver)}
 }
 
-// Register adds a constructor under the solver's name. Registering the same
-// name twice panics: it is a programming error.
-func (r *Registry) Register(factory func() Solver) {
-	name := factory().Name()
+// Register adds a constructor under the given name. The factory is stored,
+// not invoked: no solver is built until New is called, so registering a heavy
+// solver (a full portfolio, a parallel kernel) costs nothing. Registering an
+// empty name or the same name twice panics: both are programming errors.
+func (r *Registry) Register(name string, factory func() Solver) {
+	if name == "" {
+		panic("solver: registration with empty name")
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.factories[name]; dup {
@@ -66,19 +70,19 @@ func (r *Registry) Names() []string {
 // seven algo packages plus the parallel kernels and the default portfolio.
 func Default() *Registry {
 	r := NewRegistry()
-	r.Register(func() Solver { return Adapt(roundrobin.New()) })
-	r.Register(func() Solver { return Adapt(greedybalance.New()) })
-	r.Register(func() Solver { return Adapt(greedybalance.NewWithTie(greedybalance.SmallerRemaining)) })
-	r.Register(func() Solver { return Adapt(greedybalance.NewUnbalanced(greedybalance.LargerRemaining)) })
-	r.Register(func() Solver { return Adapt(optres2.New()) })
-	r.Register(func() Solver { return Adapt(optres2.NewPQ()) })
-	r.Register(func() Solver { return Adapt(optresm.New()) })
-	r.Register(func() Solver { return Adapt(optresm.NewParallel()) })
-	r.Register(func() Solver { return Adapt(branchbound.New()) })
-	r.Register(func() Solver { return Adapt(branchbound.NewParallel()) })
-	r.Register(func() Solver { return Adapt(chunked.New(2)) })
-	r.Register(func() Solver { return Adapt(chunked.New(3)) })
-	r.Register(func() Solver { return NewDefaultPortfolio() })
+	r.Register("round-robin", func() Solver { return Adapt(roundrobin.New()) })
+	r.Register("greedy-balance", func() Solver { return Adapt(greedybalance.New()) })
+	r.Register("greedy-balance-small", func() Solver { return Adapt(greedybalance.NewWithTie(greedybalance.SmallerRemaining)) })
+	r.Register("greedy-unbalanced-large", func() Solver { return Adapt(greedybalance.NewUnbalanced(greedybalance.LargerRemaining)) })
+	r.Register("opt-res-assignment", func() Solver { return Adapt(optres2.New()) })
+	r.Register("opt-res-assignment-pq", func() Solver { return Adapt(optres2.NewPQ()) })
+	r.Register("opt-res-assignment-2", func() Solver { return Adapt(optresm.New()) })
+	r.Register("opt-res-assignment-2-parallel", func() Solver { return Adapt(optresm.NewParallel()) })
+	r.Register("branch-and-bound", func() Solver { return Adapt(branchbound.New()) })
+	r.Register("branch-and-bound-parallel", func() Solver { return Adapt(branchbound.NewParallel()) })
+	r.Register("chunked-exact-w2", func() Solver { return Adapt(chunked.New(2)) })
+	r.Register("chunked-exact-w3", func() Solver { return Adapt(chunked.New(3)) })
+	r.Register("portfolio", func() Solver { return NewDefaultPortfolio() })
 	return r
 }
 

@@ -244,7 +244,73 @@ func TestParallelEachCancelled(t *testing.T) {
 		if !errors.Is(out.Err, context.Canceled) {
 			t.Fatalf("instance %d: got %v, want context.Canceled", i, out.Err)
 		}
+		if !out.Skipped {
+			t.Fatalf("instance %d: fail-fast outcome must be marked Skipped", i)
+		}
 	}
+}
+
+// TestPortfolioTimeoutSemantics pins down the best-effort contract of
+// Portfolio.Solve: a member result obtained before the deadline is returned
+// with a nil error even though the parent context has expired by the time
+// Solve returns, while a portfolio whose members were all cancelled reports
+// the context error.
+func TestPortfolioTimeoutSemantics(t *testing.T) {
+	inst := core.NewInstance([]float64{0.5})
+	sched := core.NewSchedule(1, 1)
+	sched.Alloc[0][0] = 0.5
+
+	t.Run("member finished before deadline", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		finished := make(chan struct{})
+		fast := solveFunc{name: "fast", fn: func(context.Context, *core.Instance) (*core.Schedule, error) {
+			close(finished)
+			return sched.Clone(), nil
+		}}
+		slow := solveFunc{name: "slow", fn: func(ctx context.Context, _ *core.Instance) (*core.Schedule, error) {
+			<-finished // the fast member has returned its schedule
+			cancel()   // now the parent context expires mid-race
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}}
+		got, st, err := NewPortfolio(fast, slow).Solve(ctx, inst)
+		if err != nil {
+			t.Fatalf("got %v, want nil error despite expired context", err)
+		}
+		if got == nil || st.Solver != "fast" {
+			t.Fatalf("winner = %q (schedule %v), want fast", st.Solver, got)
+		}
+		if ctx.Err() == nil {
+			t.Fatal("test invariant: parent context should be expired")
+		}
+	})
+
+	t.Run("all members cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		blocked := solveFunc{name: "blocked", fn: func(ctx context.Context, _ *core.Instance) (*core.Schedule, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}}
+		_, _, err := NewPortfolio(blocked, blocked).Solve(ctx, inst)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	})
+}
+
+// solveFunc adapts a function to the Solver interface for tests.
+type solveFunc struct {
+	name string
+	fn   func(context.Context, *core.Instance) (*core.Schedule, error)
+}
+
+func (s solveFunc) Name() string { return s.name }
+
+func (s solveFunc) Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, Stats, error) {
+	sched, err := s.fn(ctx, inst)
+	return sched, Stats{Solver: s.name}, err
 }
 
 // TestRegistry covers lookup, unknown names and duplicate registration.
@@ -267,7 +333,43 @@ func TestRegistry(t *testing.T) {
 			t.Fatal("expected panic on duplicate registration")
 		}
 	}()
-	reg.Register(func() Solver { return Adapt(greedybalance.New()) })
+	reg.Register("greedy-balance", func() Solver { return Adapt(greedybalance.New()) })
+}
+
+// TestRegistryNamesMatchSolvers guards the explicit registration names of
+// Default() against drifting from the solvers' own Name() methods.
+func TestRegistryNamesMatchSolvers(t *testing.T) {
+	reg := Default()
+	for _, name := range reg.Names() {
+		s, err := reg.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Name(); got != name {
+			t.Errorf("registered as %q but solver names itself %q", name, got)
+		}
+	}
+}
+
+// TestRegistryIsLazy confirms Register stores the factory without invoking
+// it: building a solver per registration was the bug that made Default()
+// construct and discard a full portfolio.
+func TestRegistryIsLazy(t *testing.T) {
+	reg := NewRegistry()
+	built := 0
+	reg.Register("lazy", func() Solver {
+		built++
+		return Adapt(greedybalance.New())
+	})
+	if built != 0 {
+		t.Fatalf("factory invoked %d times during registration, want 0", built)
+	}
+	if _, err := reg.New("lazy"); err != nil {
+		t.Fatal(err)
+	}
+	if built != 1 {
+		t.Fatalf("factory invoked %d times after New, want 1", built)
+	}
 }
 
 // TestAdapterForwardsContext confirms that a context-aware scheduler wrapped

@@ -25,34 +25,35 @@ type Summary struct {
 }
 
 // Summarize computes the summary of the sample. An empty sample yields a zero
-// summary with Count 0.
+// summary with Count 0. The sample is copied and sorted exactly once; the
+// quantiles (and min/max) are read off the shared sorted copy.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
-	var sum float64
-	for _, x := range xs {
-		sum += x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   quantileSorted(sorted, 0.50),
+		P90:   quantileSorted(sorted, 0.90),
+		P99:   quantileSorted(sorted, 0.99),
 	}
-	s.Mean = sum / float64(len(xs))
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(len(sorted))
 	var sq float64
-	for _, x := range xs {
+	for _, x := range sorted {
 		d := x - s.Mean
 		sq += d * d
 	}
-	if len(xs) > 1 {
-		s.StdDev = math.Sqrt(sq / float64(len(xs)-1))
+	if len(sorted) > 1 {
+		s.StdDev = math.Sqrt(sq / float64(len(sorted)-1))
 	}
-	s.P50 = Quantile(xs, 0.50)
-	s.P90 = Quantile(xs, 0.90)
-	s.P99 = Quantile(xs, 0.99)
 	return s
 }
 
@@ -106,19 +107,25 @@ func Min(xs []float64) float64 {
 }
 
 // Quantile returns the q-quantile (q in [0,1]) using linear interpolation
-// between closest ranks. The input need not be sorted.
+// between closest ranks. The input need not be sorted. To compute several
+// quantiles of the same sample use Summarize, which sorts only once.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile over an already-sorted non-empty sample.
+func quantileSorted(sorted []float64, q float64) float64 {
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))

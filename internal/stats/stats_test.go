@@ -55,6 +55,37 @@ func TestQuantileBounds(t *testing.T) {
 	}
 }
 
+// TestSummarizeMatchesQuantile guards the sort-once fast path in Summarize
+// against drifting from the standalone Quantile, min and max helpers, and
+// checks the input sample is left unsorted.
+func TestSummarizeMatchesQuantile(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		orig := append([]float64(nil), xs...)
+		s := Summarize(xs)
+		for i := range xs {
+			if xs[i] != orig[i] {
+				return false // Summarize must not mutate its input
+			}
+		}
+		return s.P50 == Quantile(xs, 0.50) &&
+			s.P90 == Quantile(xs, 0.90) &&
+			s.P99 == Quantile(xs, 0.99) &&
+			s.Min == Min(xs) && s.Max == Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("Summarize disagrees with Quantile/Min/Max: %v", err)
+	}
+}
+
 func TestMinMaxMean(t *testing.T) {
 	xs := []float64{-1, 5, 2}
 	if Min(xs) != -1 || Max(xs) != 5 || math.Abs(Mean(xs)-2) > 1e-12 {
