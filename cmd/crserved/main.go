@@ -1,22 +1,31 @@
 // Command crserved is the long-running scheduling service: it serves solve
 // requests over HTTP from the full solver registry, memoises evaluations in
 // a sharded LRU cache keyed by canonical instance fingerprints, deduplicates
-// concurrent identical solves, and shards batch requests across a bounded
-// worker pool.
+// concurrent identical solves, shards batch requests across a bounded
+// worker pool, and runs solves too heavy for any HTTP deadline as
+// asynchronous jobs with incumbent progress streaming and an optional
+// on-disk result store.
 //
 // Usage:
 //
 //	crserved -addr :8080
 //	crserved -addr :8080 -solver portfolio -cache-capacity 4096 -max-concurrent 16
+//	crserved -addr :8080 -workers 8 -queue 1024 -store /var/lib/crserved/jobs
 //
 // Example session:
 //
 //	crgen -kind figure3 -n 12 > inst.json
 //	curl -s localhost:8080/v1/solve -d "{\"instance\": $(cat inst.json)}"
-//	curl -s localhost:8080/metrics | grep crsharing_cache
+//	curl -s localhost:8080/v1/jobs -d "{\"instance\": $(cat inst.json), \"solver\": \"branch-and-bound-parallel\"}"
+//	curl -sN localhost:8080/v1/jobs/<id>/events
+//	curl -s localhost:8080/metrics | grep crsharing_jobs
 //
-// The process shuts down gracefully on SIGINT/SIGTERM, giving in-flight
-// requests -grace to finish.
+// See README.md for the full API reference and ARCHITECTURE.md for the
+// system design.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get -grace to finish, running jobs are cancelled, and queued jobs are
+// checkpointed to -store (or cancelled when no store is configured).
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"time"
 
 	"crsharing"
+	"crsharing/internal/jobs"
 	"crsharing/internal/service"
 	"crsharing/internal/solver"
 )
@@ -42,7 +52,13 @@ func main() {
 	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "deadline for requests that specify none")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper clamp on request-supplied deadlines")
 	maxBatch := flag.Int("max-batch", 1024, "maximum instances per batch request")
-	maxConcurrent := flag.Int("max-concurrent", 16, "global cap on concurrently running solves")
+	maxConcurrent := flag.Int("max-concurrent", 16, "global cap on concurrently running synchronous solves")
+	workers := flag.Int("workers", 4, "async job worker pool size")
+	queue := flag.Int("queue", 256, "async job queue depth; 0 disables the job API")
+	storeDir := flag.String("store", "", "directory for durable job records; empty keeps jobs in memory only")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "solve budget for jobs that specify none")
+	jobMaxTimeout := flag.Duration("job-max-timeout", time.Hour, "upper clamp on job-supplied solve budgets")
+	jobRetention := flag.Int("job-retention", 4096, "job records kept in memory; oldest finished records beyond this are evicted")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
 	flag.Parse()
 
@@ -50,6 +66,36 @@ func main() {
 	if *cacheCapacity > 0 {
 		cache = solver.NewCache(*cacheShards, *cacheCapacity)
 	}
+
+	var manager *jobs.Manager
+	if *queue > 0 {
+		var store jobs.Store
+		if *storeDir != "" {
+			fs, err := jobs.NewFileStore(*storeDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			store = fs
+		}
+		var err error
+		manager, err = jobs.New(jobs.Config{
+			Registry:       solver.Default(),
+			Cache:          cache,
+			DefaultSolver:  *defaultSolver,
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			DefaultTimeout: *jobTimeout,
+			MaxTimeout:     *jobMaxTimeout,
+			MaxRecords:     *jobRetention,
+			Store:          store,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	srv, err := service.New(service.Config{
 		Registry:       solver.Default(),
 		Cache:          cache,
@@ -58,6 +104,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxBatch:       *maxBatch,
 		MaxConcurrent:  *maxConcurrent,
+		Jobs:           manager,
 		Version:        crsharing.Version,
 	})
 	if err != nil {
@@ -68,10 +115,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("crserved %s listening on %s (solver=%s cache=%d max-concurrent=%d)",
-		crsharing.Version, *addr, *defaultSolver, *cacheCapacity, *maxConcurrent)
-	if err := srv.Run(ctx, *addr, *grace); err != nil {
-		log.Fatal(err)
+	log.Printf("crserved %s listening on %s (solver=%s cache=%d max-concurrent=%d workers=%d queue=%d store=%q)",
+		crsharing.Version, *addr, *defaultSolver, *cacheCapacity, *maxConcurrent, *workers, *queue, *storeDir)
+	runErr := srv.Run(ctx, *addr, *grace)
+	// Close the job manager even when the listener tear-down erred: running
+	// jobs must be cancelled and queued jobs checkpointed either way.
+	if manager != nil {
+		cctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := manager.Close(cctx); err != nil {
+			log.Printf("crserved: job shutdown: %v", err)
+		}
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
 	}
 	log.Print("crserved: shut down cleanly")
 }

@@ -6,8 +6,8 @@
 // The implementation lives under internal/ (model, algorithms, hypergraph
 // analysis, generators, many-core simulator, experiment harness), the
 // command-line tools under cmd/, and runnable examples under examples/. See
-// README.md for an overview, DESIGN.md for the system inventory and the
-// experiment index, and EXPERIMENTS.md for the recorded reproduction results.
+// README.md for usage and the HTTP API reference, and ARCHITECTURE.md for
+// the layer diagram, data-flow walkthroughs and concurrency invariants.
 //
 // # Solver registry and concurrency layer
 //
@@ -43,6 +43,13 @@
 // listing, a liveness probe and Prometheus-format metrics; every solve runs
 // under a per-request deadline and the process drains gracefully on
 // SIGINT/SIGTERM.
+//
+// Solves too heavy for any HTTP deadline run asynchronously through
+// internal/jobs: a bounded queue drained by a worker pool, job records that
+// move through pending -> running -> done/failed/cancelled, server-sent-event
+// streaming of every improving incumbent (reported by the kernels through the
+// internal/progress hook), and an optional on-disk store that serves
+// completed schedules across restarts without re-solving.
 //
 // The two hottest exact kernels are parallel internally as well:
 // branch-and-bound explores frontier subtrees on a worker pool with a shared

@@ -1,0 +1,57 @@
+package crsharing
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocLinks is the docs-hygiene link check: every file or directory
+// referenced from README.md and ARCHITECTURE.md — markdown link targets and
+// inline-code path references — must exist in the repository, so the docs
+// cannot silently rot as the tree moves.
+func TestDocLinks(t *testing.T) {
+	var (
+		// [text](target) with a relative target.
+		mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+		// Inline `code` spans.
+		codeSpan = regexp.MustCompile("`([^`\n]+)`")
+		// A span counts as a path reference when it is rooted in a known
+		// top-level directory or names a .go/.md file.
+		pathLike = regexp.MustCompile(`^(?:(?:cmd|internal|examples)(?:/[A-Za-z0-9_.-]+)*|[A-Za-z0-9][A-Za-z0-9_.-]*\.(?:go|md))$`)
+		fence    = regexp.MustCompile("(?ms)^```.*?^```")
+	)
+
+	for _, doc := range []string{"README.md", "ARCHITECTURE.md"} {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		text := fence.ReplaceAllString(string(raw), "")
+
+		check := func(ref string) {
+			if _, err := os.Stat(ref); err != nil {
+				t.Errorf("%s references %q, which does not exist", doc, ref)
+			}
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target != "" {
+				check(target)
+			}
+		}
+		for _, m := range codeSpan.FindAllStringSubmatch(text, -1) {
+			span := strings.TrimPrefix(strings.TrimSpace(m[1]), "./")
+			if pathLike.MatchString(span) {
+				check(span)
+			}
+		}
+	}
+}

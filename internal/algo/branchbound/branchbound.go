@@ -18,6 +18,7 @@ import (
 	"crsharing/internal/algo/greedybalance"
 	"crsharing/internal/core"
 	"crsharing/internal/numeric"
+	"crsharing/internal/progress"
 )
 
 // Scheduler is the exact branch-and-bound solver.
@@ -114,6 +115,9 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, inst *core.Instance) (*
 		sv.maxNodes = DefaultMaxNodes
 	}
 	sv.bestMoves = allocRows(gbSched)
+	// The greedy seed is the first incumbent: report it so observers see a
+	// feasible bound even before the search improves on it.
+	progress.Report(ctx, progress.Incumbent{Solver: s.Name(), Makespan: sv.best})
 
 	root := &state{done: make([]int, inst.NumProcessors()), rem: make([]float64, inst.NumProcessors())}
 	for i := 0; i < inst.NumProcessors(); i++ {
@@ -204,6 +208,7 @@ func (sv *solver) search(st *state, depth int, moves [][]float64) error {
 		if depth < sv.best {
 			sv.best = depth
 			sv.bestMoves = append([][]float64(nil), moves...)
+			progress.Report(sv.ctx, progress.Incumbent{Solver: "branch-and-bound", Makespan: depth})
 		}
 		return nil
 	}

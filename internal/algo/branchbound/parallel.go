@@ -10,6 +10,7 @@ import (
 
 	"crsharing/internal/algo/greedybalance"
 	"crsharing/internal/core"
+	"crsharing/internal/progress"
 )
 
 // ParallelScheduler is the multi-core variant of the exact branch-and-bound
@@ -109,6 +110,9 @@ func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Inst
 		sh.maxNodes = DefaultMaxNodes
 	}
 	sh.best.Store(int64(gbRes.Makespan()))
+	// The greedy seed is the first incumbent: report it so observers see a
+	// feasible bound even before the search improves on it.
+	progress.Report(ctx, progress.Incumbent{Solver: s.Name(), Makespan: gbRes.Makespan()})
 
 	root := &state{done: make([]int, inst.NumProcessors()), rem: make([]float64, inst.NumProcessors())}
 	for i := 0; i < inst.NumProcessors(); i++ {
@@ -122,7 +126,7 @@ func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Inst
 		t := frontier[0]
 		frontier = frontier[1:]
 		if isFinished(inst, t.st) {
-			sh.offerSolution(t.depth, t.moves)
+			sh.offerSolution(ctx, t.depth, t.moves)
 			continue
 		}
 		if int64(t.depth+lowerBound(inst, t.st)) >= sh.best.Load() {
@@ -191,13 +195,18 @@ func isFinished(inst *core.Instance, st *state) bool {
 }
 
 // offerSolution installs a complete schedule of the given makespan as the
-// incumbent if it improves on the current one.
-func (sh *shared) offerSolution(depth int, moves [][]float64) {
+// incumbent if it improves on the current one, reporting the improvement to
+// the context's progress observer.
+func (sh *shared) offerSolution(ctx context.Context, depth int, moves [][]float64) {
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if int64(depth) < sh.best.Load() {
+	improved := int64(depth) < sh.best.Load()
+	if improved {
 		sh.best.Store(int64(depth))
 		sh.bestMoves = append([][]float64(nil), moves...)
+	}
+	sh.mu.Unlock()
+	if improved {
+		progress.Report(ctx, progress.Incumbent{Solver: "branch-and-bound-parallel", Makespan: depth})
 	}
 }
 
@@ -254,7 +263,7 @@ func (sh *shared) dfs(ctx context.Context, st *state, depth int, moves [][]float
 		}
 	}
 	if isFinished(sh.inst, st) {
-		sh.offerSolution(depth, moves)
+		sh.offerSolution(ctx, depth, moves)
 		return nil
 	}
 	if int64(depth+lowerBound(sh.inst, st)) >= sh.best.Load() {

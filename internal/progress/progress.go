@@ -1,0 +1,47 @@
+// Package progress carries incumbent-reporting callbacks through contexts,
+// so long-running solvers can stream improving solutions to whoever started
+// them without the algo packages depending on the solver or serving layers.
+//
+// The package sits below internal/algo in the dependency order on purpose:
+// internal/solver imports the algo packages, so a hook defined there could
+// not be called from inside a kernel. A caller attaches an observer with
+// WithObserver; kernels call Report whenever they install a new best-so-far
+// solution, which is a no-op when no observer is attached.
+package progress
+
+import "context"
+
+// Incumbent is one improving solution found during a solve: the solver that
+// produced it and its makespan. Reports are made whenever a kernel installs
+// a new best-so-far solution, so a consumer sees a (not necessarily
+// strictly) improving sequence ending in the final answer.
+type Incumbent struct {
+	// Solver names the solver that found the solution. Nested solvers (a
+	// portfolio member, a branch-and-bound worker) report their own name.
+	Solver string
+	// Makespan is the solution's makespan in time steps.
+	Makespan int
+}
+
+// Func observes incumbents. Implementations must be safe for concurrent
+// use: parallel kernels report from multiple goroutines, and must be fast —
+// they run inline on the search path.
+type Func func(Incumbent)
+
+type ctxKey struct{}
+
+// WithObserver returns a context carrying fn as the incumbent observer.
+// Attaching a nil observer returns ctx unchanged.
+func WithObserver(ctx context.Context, fn Func) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, fn)
+}
+
+// Report delivers inc to the observer attached to ctx, if any.
+func Report(ctx context.Context, inc Incumbent) {
+	if fn, ok := ctx.Value(ctxKey{}).(Func); ok {
+		fn(inc)
+	}
+}

@@ -1,0 +1,41 @@
+package progress
+
+import (
+	"context"
+	"testing"
+)
+
+func TestReportWithoutObserverIsNoop(t *testing.T) {
+	// Must not panic or block.
+	Report(context.Background(), Incumbent{Solver: "x", Makespan: 3})
+}
+
+func TestWithObserverDelivers(t *testing.T) {
+	var got []Incumbent
+	ctx := WithObserver(context.Background(), func(inc Incumbent) {
+		got = append(got, inc)
+	})
+	Report(ctx, Incumbent{Solver: "a", Makespan: 5})
+	Report(ctx, Incumbent{Solver: "b", Makespan: 4})
+	if len(got) != 2 || got[0].Makespan != 5 || got[1].Solver != "b" {
+		t.Fatalf("unexpected reports: %+v", got)
+	}
+}
+
+func TestWithNilObserverReturnsSameContext(t *testing.T) {
+	ctx := context.Background()
+	if WithObserver(ctx, nil) != ctx {
+		t.Fatal("nil observer must not wrap the context")
+	}
+}
+
+func TestObserverNestsLikeContextValues(t *testing.T) {
+	var outer, inner int
+	ctx := WithObserver(context.Background(), func(Incumbent) { outer++ })
+	ctx2 := WithObserver(ctx, func(Incumbent) { inner++ })
+	Report(ctx2, Incumbent{})
+	Report(ctx, Incumbent{})
+	if outer != 1 || inner != 1 {
+		t.Fatalf("innermost observer must win: outer=%d inner=%d", outer, inner)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crsharing/internal/jobs"
 	"crsharing/internal/solver"
 )
 
@@ -14,6 +15,7 @@ import (
 type metrics struct {
 	requestsSolve   atomic.Uint64
 	requestsBatch   atomic.Uint64
+	requestsJobs    atomic.Uint64
 	requestsOther   atomic.Uint64
 	errorsTotal     atomic.Uint64
 	solvesTotal     atomic.Uint64 // fresh solves performed (source=solve)
@@ -24,10 +26,11 @@ type metrics struct {
 	deadlineExpired atomic.Uint64
 }
 
-// write renders the counters (and the cache's, when present) in the
-// Prometheus text exposition format, which is also perfectly readable with
-// curl.
-func (m *metrics) write(w io.Writer, cache *solver.Cache, uptime time.Duration) {
+// write renders the counters (and the cache's and job manager's, when
+// present) in the Prometheus text exposition format (version 0.0.4): every
+// sample is preceded by its # HELP and # TYPE lines, which also makes the
+// endpoint perfectly readable with curl.
+func (m *metrics) write(w io.Writer, cache *solver.Cache, jm *jobs.Manager, uptime time.Duration) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -36,6 +39,7 @@ func (m *metrics) write(w io.Writer, cache *solver.Cache, uptime time.Duration) 
 	}
 	counter("crsharing_requests_solve_total", "POST /v1/solve requests.", m.requestsSolve.Load())
 	counter("crsharing_requests_batch_total", "POST /v1/batch-solve requests.", m.requestsBatch.Load())
+	counter("crsharing_requests_jobs_total", "Requests to the /v1/jobs endpoints.", m.requestsJobs.Load())
 	counter("crsharing_requests_other_total", "Requests to the remaining endpoints.", m.requestsOther.Load())
 	counter("crsharing_errors_total", "Requests answered with a non-2xx status.", m.errorsTotal.Load())
 	counter("crsharing_solves_total", "Fresh solver invocations (cache misses).", m.solvesTotal.Load())
@@ -52,5 +56,16 @@ func (m *metrics) write(w io.Writer, cache *solver.Cache, uptime time.Duration) 
 		counter("crsharing_cache_coalesced_total", "Requests coalesced onto an identical in-flight solve.", st.Coalesced)
 		counter("crsharing_cache_evictions_total", "LRU evictions.", st.Evictions)
 		gauge("crsharing_cache_entries", "Evaluations currently cached.", float64(st.Entries))
+	}
+	if jm != nil {
+		st := jm.Stats()
+		gauge("crsharing_jobs_queue_depth", "Jobs waiting in the queue.", float64(st.QueueDepth))
+		gauge("crsharing_jobs_queue_capacity", "Bound of the job queue.", float64(st.QueueCapacity))
+		gauge("crsharing_jobs_running", "Jobs currently held by workers.", float64(st.Running))
+		gauge("crsharing_jobs_workers", "Size of the job worker pool.", float64(st.Workers))
+		counter("crsharing_jobs_submitted_total", "Jobs accepted into the queue.", st.Submitted)
+		counter("crsharing_jobs_done_total", "Jobs completed with a valid evaluation.", st.Done)
+		counter("crsharing_jobs_failed_total", "Jobs that errored or exceeded their budget.", st.Failed)
+		counter("crsharing_jobs_cancelled_total", "Jobs cancelled by clients or shutdown.", st.Cancelled)
 	}
 }

@@ -4,18 +4,28 @@
 // fingerprints (identical requests are solved once and replayed from memory)
 // and singleflight deduplication of concurrent identical solves.
 //
-// Endpoints:
+// Endpoints (see README.md for the full API reference and ARCHITECTURE.md
+// for the layer walkthrough):
 //
-//	POST /v1/solve        solve one instance (SolveRequest -> SolveResponse)
-//	POST /v1/batch-solve  solve a JSON array of instances via ParallelEach
-//	GET  /v1/solvers      list the registered solver names
-//	GET  /healthz         liveness probe
-//	GET  /metrics         counters in Prometheus text format
+//	POST   /v1/solve            solve one instance (SolveRequest -> SolveResponse)
+//	POST   /v1/batch-solve      solve a JSON array of instances via ParallelEach
+//	GET    /v1/solvers          list the registered solver names
+//	POST   /v1/jobs             submit an asynchronous solve (202 Accepted)
+//	GET    /v1/jobs             list jobs, ?state= filters
+//	GET    /v1/jobs/{id}        job record, including the result when done
+//	DELETE /v1/jobs/{id}        cancel a pending or running job
+//	GET    /v1/jobs/{id}/events SSE stream of state and incumbent events
+//	GET    /healthz             liveness probe
+//	GET    /metrics             counters in Prometheus text format
 //
-// Every solve runs under a per-request deadline (request-supplied, clamped
-// to the server maximum) and a global concurrency limit shared by the single
-// and batch paths, so a burst of heavy requests degrades into queueing
-// instead of oversubscribing the machine.
+// Every synchronous solve runs under a per-request deadline
+// (request-supplied, clamped to the server maximum) and a global concurrency
+// limit shared by the single and batch paths, so a burst of heavy requests
+// degrades into queueing instead of oversubscribing the machine. Instances
+// that cannot finish inside any acceptable HTTP deadline go through the job
+// API instead: they queue in a bounded internal/jobs worker pool, report
+// incumbent solutions as they improve, and their results outlive the request
+// (and, with a store, the process).
 package service
 
 import (
@@ -24,9 +34,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"crsharing/internal/core"
+	"crsharing/internal/jobs"
 	"crsharing/internal/solver"
 )
 
@@ -50,6 +62,10 @@ type Config struct {
 	MaxConcurrent int
 	// MaxBodyBytes caps request body sizes (default 32 MiB).
 	MaxBodyBytes int64
+	// Jobs, when non-nil, enables the asynchronous job API (/v1/jobs*) for
+	// solves that outlast the synchronous deadline. The manager's lifecycle
+	// belongs to the caller: close it after the HTTP listener drains.
+	Jobs *jobs.Manager
 	// Version is reported by /healthz.
 	Version string
 }
@@ -62,6 +78,12 @@ type Server struct {
 	sem     chan struct{}
 	started time.Time
 	metrics metrics
+	// shutdown is closed when Run starts draining; long-lived streams (SSE)
+	// select on it so open subscriptions cannot pin graceful shutdown to its
+	// full grace budget. http.Server.Shutdown alone cannot do this: it waits
+	// for active handlers and does not cancel their request contexts.
+	shutdown     chan struct{}
+	shutdownOnce sync.Once
 }
 
 // New validates the configuration, applies defaults and returns a Server.
@@ -91,16 +113,24 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxBodyBytes = 32 << 20
 	}
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		started: time.Now(),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		started:  time.Now(),
+		shutdown: make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch-solve", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Jobs != nil {
+		s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+		s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+		s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	}
 	return s, nil
 }
 
@@ -122,6 +152,7 @@ func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) erro
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		s.shutdownOnce.Do(func() { close(s.shutdown) })
 		sctx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
 		return srv.Shutdown(sctx)
@@ -376,7 +407,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requestsOther.Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, s.cfg.Cache, time.Since(s.started))
+	s.metrics.write(w, s.cfg.Cache, s.cfg.Jobs, time.Since(s.started))
 }
 
 // decode reads the JSON request body into dst, bounding its size and

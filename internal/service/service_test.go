@@ -198,7 +198,7 @@ func TestSolveRequestValidation(t *testing.T) {
 	stub := &stubSolver{name: "stub"}
 	_, ts := newTestServer(t, stub, nil)
 	cases := []SolveRequest{
-		{},                                              // missing instance
+		{}, // missing instance
 		{Instance: testInstance(), Solver: "no-such"},   // unknown solver
 		{Instance: testInstance(), Timeout: "-3s"},      // negative timeout
 		{Instance: testInstance(), Timeout: "sideways"}, // unparsable timeout

@@ -2,6 +2,7 @@ package service
 
 import (
 	"crsharing/internal/core"
+	"crsharing/internal/jobs"
 )
 
 // SolveRequest is the body of POST /v1/solve.
@@ -93,6 +94,27 @@ type HealthResponse struct {
 	Status        string  `json:"status"`
 	Version       string  `json:"version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// JobRequest is the body of POST /v1/jobs.
+type JobRequest struct {
+	// Solver selects a registry entry; empty uses the server's default.
+	Solver string `json:"solver,omitempty"`
+	// Instance is the CRSharing instance to solve.
+	Instance *core.Instance `json:"instance"`
+	// Timeout bounds the solve once it starts running (queueing time does
+	// not count), as a Go duration string. Unlike the synchronous endpoints
+	// it is clamped to the job manager's maximum, not the HTTP one — long
+	// solves are what the job API is for.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// Job responses (POST /v1/jobs, GET /v1/jobs/{id}, DELETE /v1/jobs/{id})
+// are jobs.Snapshot values serialised directly; JobListResponse is the body
+// of GET /v1/jobs.
+type JobListResponse struct {
+	Count int             `json:"count"`
+	Jobs  []jobs.Snapshot `json:"jobs"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

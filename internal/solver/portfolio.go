@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crsharing/internal/core"
+	"crsharing/internal/progress"
 )
 
 // Portfolio runs its members concurrently on the same instance and returns
@@ -63,6 +66,14 @@ func (p *Portfolio) Solve(ctx context.Context, inst *core.Instance) (*core.Sched
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// bestSeen tracks the best makespan any member has produced so far, so
+	// finishing members report (strictly) improving incumbents to the
+	// context's progress observer as the race unfolds. Kernels that report
+	// their own internal incumbents (branch-and-bound) stream through the
+	// same observer via cctx.
+	var bestSeen atomic.Int64
+	bestSeen.Store(math.MaxInt64)
+
 	results := make([]memberResult, len(p.Members))
 	var wg sync.WaitGroup
 	for idx, member := range p.Members {
@@ -86,6 +97,18 @@ func (p *Portfolio) Solve(ctx context.Context, inst *core.Instance) (*core.Sched
 				}
 			}
 			results[idx] = r
+			if r.err == nil {
+				for {
+					cur := bestSeen.Load()
+					if int64(r.makespan) >= cur {
+						break
+					}
+					if bestSeen.CompareAndSwap(cur, int64(r.makespan)) {
+						progress.Report(ctx, progress.Incumbent{Solver: member.Name(), Makespan: r.makespan})
+						break
+					}
+				}
+			}
 			if r.err == nil && p.RaceExact && isExact(member) {
 				cancel()
 			}
