@@ -1,0 +1,165 @@
+// Command crload is the end-to-end load driver of the scheduling service: it
+// expands a seed into the deterministic workload corpus of internal/harness,
+// replays an open-loop mix of synchronous solves, batch solves and
+// asynchronous jobs (with SSE follow) against a server, revalidates every
+// returned schedule with the paper's invariant checkers, and reports
+// per-class latency distributions, throughput and the cache-hit accounting
+// scraped from /metrics.
+//
+// With no -addr it spins up the full stack in-process (registry, sharded
+// memo cache, job manager, HTTP layer) behind an httptest listener, so a
+// single command is a complete end-to-end smoke:
+//
+//	crload -seed 1 -duration 2s
+//	crload -seed 7 -duration 10s -rate 500 -mix solve=6,batch=2,jobs=2 -json BENCH_load.json
+//	crload -addr http://127.0.0.1:8080 -duration 30s
+//
+// The process exits 1 when any schedule violates an invariant (or the
+// -min-cache-hits floor is missed), making it directly usable as a CI gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crsharing/internal/harness"
+	"crsharing/internal/jobs"
+	"crsharing/internal/service"
+	"crsharing/internal/solver"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running crserved (e.g. http://127.0.0.1:8080); empty drives an in-process server")
+	seed := flag.Int64("seed", 1, "corpus seed; the same seed replays the byte-identical workload")
+	duration := flag.Duration("duration", 2*time.Second, "how long to generate arrivals")
+	rate := flag.Float64("rate", 200, "open-loop arrival rate in requests per second")
+	mixSpec := flag.String("mix", "", "traffic mix, e.g. solve=8,batch=1,jobs=1 (default)")
+	solverName := flag.String("solver", "", "solver to request; empty uses the server default")
+	solveTimeout := flag.Duration("solve-timeout", 2*time.Second, "deadline sent with sync and batch solves (the portfolio returns its best-effort result at the deadline)")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Second, "solve budget sent with async job submissions")
+	reqTimeout := flag.Duration("timeout", 30*time.Second, "per-request budget, including an async job's follow")
+	batchSize := flag.Int("batch-size", 6, "instances per batch request")
+	maxInflight := flag.Int("max-inflight", 256, "cap on concurrently outstanding requests; arrivals beyond it are shed")
+	jsonOut := flag.String("json", "", "write the report as JSON to this file")
+	minCacheHits := flag.Int("min-cache-hits", 0, "fail unless the run produced at least this many cache-served responses")
+	flag.Parse()
+
+	mix, err := harness.ParseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	corpus := harness.BuildCorpus(*seed)
+	if err := corpus.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	base := *addr
+	if base == "" {
+		ts, shutdown, err := inProcessServer()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer shutdown()
+		base = ts.URL
+		fmt.Fprintf(os.Stderr, "crload: driving in-process server at %s\n", base)
+	}
+
+	driver, err := harness.NewDriver(harness.Config{
+		BaseURL:        base,
+		Corpus:         corpus,
+		Mix:            mix,
+		Rate:           *rate,
+		Duration:       *duration,
+		Solver:         *solverName,
+		SolveTimeout:   *solveTimeout,
+		JobTimeout:     *jobTimeout,
+		RequestTimeout: *reqTimeout,
+		BatchSize:      *batchSize,
+		MaxInflight:    *maxInflight,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	report, err := driver.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Print(report.Text())
+	if *jsonOut != "" {
+		data, err := report.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	if n := report.ViolationCount; n > 0 {
+		fmt.Fprintf(os.Stderr, "crload: FAIL: %d invariant violation(s)\n", n)
+		os.Exit(1)
+	}
+	if hits := int(report.Cache.CacheServed); hits < *minCacheHits {
+		fmt.Fprintf(os.Stderr, "crload: FAIL: %d cache-served responses, need at least %d\n", hits, *minCacheHits)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "crload: OK: %d responses validated, zero invariant violations\n", report.Validated)
+}
+
+// inProcessServer wires the full production stack (registry, sharded memo
+// cache, job manager, HTTP layer) behind an httptest listener and returns
+// the listener plus an ordered shutdown function.
+func inProcessServer() (*httptest.Server, func(), error) {
+	cache := solver.NewCache(16, 4096)
+	manager, err := jobs.New(jobs.Config{
+		Registry:       solver.Default(),
+		Cache:          cache,
+		DefaultSolver:  "portfolio",
+		Workers:        4,
+		QueueDepth:     1024,
+		DefaultTimeout: time.Minute,
+		MaxTimeout:     10 * time.Minute,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := service.New(service.Config{
+		Registry: solver.Default(),
+		Cache:    cache,
+		Jobs:     manager,
+		// The driver deliberately saturates the server; a generous solve
+		// budget keeps queueing delay out of the measured latencies.
+		MaxConcurrent: 64,
+		Version:       "crload",
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	shutdown := func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := manager.Close(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "crload: job shutdown: %v\n", err)
+		}
+	}
+	return ts, shutdown, nil
+}

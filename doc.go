@@ -51,6 +51,18 @@
 // internal/progress hook), and an optional on-disk store that serves
 // completed schedules across restarts without re-solving.
 //
+// # End-to-end harness
+//
+// internal/harness and cmd/crload close the loop over the whole stack: a
+// deterministic corpus builder expands one seed into named instance families
+// (including processor-permuted duplicates that stress the cache's
+// fingerprint/remap path), an open-loop replay driver fires a weighted mix
+// of sync, batch and async-job traffic at the HTTP layer, and an invariant
+// oracle re-executes every returned schedule against the paper's property
+// checkers (core.CheckProperties, Propositions 1-2), failing loudly on any
+// violation. A golden-corpus suite under internal/harness/testdata pins
+// every deterministic solver's makespan and waste inside `go test ./...`.
+//
 // The two hottest exact kernels are parallel internally as well:
 // branch-and-bound explores frontier subtrees on a worker pool with a shared
 // atomic incumbent bound and a bounded hand-off queue, and the configuration

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomRemapInstance draws a small instance directly (internal/gen would be
+// an import cycle from here), including occasionally empty processors and
+// duplicate job sequences — the edge cases of canonical processor matching.
+func randomRemapInstance(rng *rand.Rand) *Instance {
+	m := 1 + rng.Intn(5)
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = make([]float64, rng.Intn(5))
+		for j := range rows[i] {
+			rows[i][j] = math.Round(rng.Float64()*100) / 100
+		}
+	}
+	// With some probability duplicate a processor's sequence onto another, so
+	// the canonical order has ties and the remap must pick a consistent
+	// matching among interchangeable processors.
+	if m >= 2 && rng.Intn(2) == 0 {
+		src, dst := rng.Intn(m), rng.Intn(m)
+		rows[dst] = append([]float64(nil), rows[src]...)
+	}
+	return NewInstance(rows...)
+}
+
+// greedySchedule builds a feasible finishing schedule: every step hands each
+// active processor its remaining demand, in processor order, until the
+// resource runs out.
+func greedySchedule(inst *Instance) *Schedule {
+	b := NewBuilder(inst)
+	m := inst.NumProcessors()
+	return b.BuildGreedy(func(b *Builder) []float64 {
+		shares := make([]float64, m)
+		avail := 1.0
+		for i := 0; i < m && avail > 0; i++ {
+			if !b.Active(i) {
+				continue
+			}
+			give := math.Min(avail, b.DemandThisStep(i))
+			shares[i] = give
+			avail -= give
+		}
+		return shares
+	})
+}
+
+// permuteInstance returns inst with processor i holding inst's processor
+// perm[i].
+func permuteInstance(inst *Instance, perm []int) *Instance {
+	out := &Instance{Procs: make([][]Job, len(perm))}
+	for i, p := range perm {
+		out.Procs[i] = append([]Job(nil), inst.Procs[p]...)
+	}
+	return out
+}
+
+// checkRemapRoundTrip is the shared property: for an instance, a feasible
+// schedule and a processor permutation,
+//
+//	(1) permuting processors preserves the canonical fingerprint,
+//	(2) the remapped schedule is feasible for the permuted instance with
+//	    identical makespan and waste,
+//	(3) remapping back restores the original share matrix exactly, and
+//	(4) the canonical processor orders of both instances list pairwise
+//	    identical job sequences (the invariant RemapScheduleProcs relies on).
+func checkRemapRoundTrip(t *testing.T, inst *Instance, perm []int) {
+	t.Helper()
+	sched := greedySchedule(inst)
+	resFrom, err := Execute(inst, sched)
+	if err != nil || !resFrom.Finished() {
+		t.Fatalf("greedy schedule invalid: err=%v finished=%v", err, resFrom != nil && resFrom.Finished())
+	}
+
+	to := permuteInstance(inst, perm)
+	if inst.Fingerprint() != to.Fingerprint() {
+		t.Fatalf("permutation %v changed the fingerprint", perm)
+	}
+
+	fromOrder, toOrder := inst.CanonicalProcOrder(), to.CanonicalProcOrder()
+	for k := range fromOrder {
+		a, b := inst.Procs[fromOrder[k]], to.Procs[toOrder[k]]
+		if len(a) != len(b) {
+			t.Fatalf("canonical position %d pairs job sequences of lengths %d and %d", k, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("canonical position %d pairs different job sequences", k)
+			}
+		}
+	}
+
+	remapped := RemapScheduleProcs(inst, to, sched)
+	resTo, err := Execute(to, remapped)
+	if err != nil {
+		t.Fatalf("remapped schedule infeasible: %v", err)
+	}
+	if !resTo.Finished() {
+		t.Fatal("remapped schedule does not finish the permuted instance")
+	}
+	if resTo.Makespan() != resFrom.Makespan() {
+		t.Fatalf("makespan changed under remap: %d -> %d", resFrom.Makespan(), resTo.Makespan())
+	}
+	if math.Abs(resTo.Wasted()-resFrom.Wasted()) > 1e-9 {
+		t.Fatalf("waste changed under remap: %v -> %v", resFrom.Wasted(), resTo.Wasted())
+	}
+
+	back := RemapScheduleProcs(to, inst, remapped)
+	if back.Steps() != sched.Steps() {
+		t.Fatalf("round trip changed step count: %d -> %d", sched.Steps(), back.Steps())
+	}
+	for s := 0; s < sched.Steps(); s++ {
+		for i := 0; i < inst.NumProcessors(); i++ {
+			if back.Share(s, i) != sched.Share(s, i) {
+				t.Fatalf("round trip altered share (t=%d, i=%d): %v -> %v", s, i, sched.Share(s, i), back.Share(s, i))
+			}
+		}
+	}
+}
+
+// TestRemapScheduleProcsRandomPermutations runs the round-trip property over
+// many random instances and permutations.
+func TestRemapScheduleProcsRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		inst := randomRemapInstance(rng)
+		if inst.TotalJobs() == 0 {
+			continue
+		}
+		checkRemapRoundTrip(t, inst, rng.Perm(inst.NumProcessors()))
+	}
+}
+
+// FuzzRemapScheduleProcs lets the fuzzer pick the instance and permutation
+// seeds; any feasibility, fingerprint or round-trip breakage is a crash.
+func FuzzRemapScheduleProcs(f *testing.F) {
+	for _, seed := range []int64{0, 1, 42, 1 << 20} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomRemapInstance(rng)
+		if inst.TotalJobs() == 0 {
+			t.Skip("degenerate instance")
+		}
+		checkRemapRoundTrip(t, inst, rng.Perm(inst.NumProcessors()))
+	})
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"crsharing/internal/core"
+)
+
+// TestBuildCorpusDeterministic pins the seed contract: the same seed yields
+// the byte-identical corpus across independent builds, and different seeds
+// yield different corpora.
+func TestBuildCorpusDeterministic(t *testing.T) {
+	a, err := BuildCorpus(1).MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCorpus(1).MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two corpora built from seed 1 serialise differently")
+	}
+	c, err := BuildCorpus(2).MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("corpora from seeds 1 and 2 serialise identically")
+	}
+}
+
+// TestCorpusFamiliesValid asserts every family the harness emits is present,
+// non-empty and consists solely of model-valid instances.
+func TestCorpusFamiliesValid(t *testing.T) {
+	corpus := BuildCorpus(42)
+	if err := corpus.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range FamilyNames() {
+		f := corpus.Family(name)
+		if f == nil {
+			t.Fatalf("family %q missing from corpus", name)
+		}
+		if len(f.Instances) == 0 {
+			t.Fatalf("family %q is empty", name)
+		}
+		for i, inst := range f.Instances {
+			if err := inst.Validate(); err != nil {
+				t.Errorf("family %q instance %d invalid: %v", name, i, err)
+			}
+			if inst.NumProcessors() == 0 || inst.TotalJobs() == 0 {
+				t.Errorf("family %q instance %d is degenerate (m=%d jobs=%d)",
+					name, i, inst.NumProcessors(), inst.TotalJobs())
+			}
+		}
+	}
+	if got, want := len(corpus.Families), len(FamilyNames()); got != want {
+		t.Fatalf("corpus has %d families, FamilyNames lists %d", got, want)
+	}
+	if corpus.Size() != len(corpus.Items()) {
+		t.Fatalf("Size()=%d disagrees with len(Items())=%d", corpus.Size(), len(corpus.Items()))
+	}
+}
+
+// TestAdversarialDupFingerprints asserts the cache-stress family delivers
+// what it promises: duplicates share their base's fingerprint while at least
+// some list their processors in a different order.
+func TestAdversarialDupFingerprints(t *testing.T) {
+	f := BuildCorpus(1).Family(FamilyAdversarialDup)
+	if f == nil {
+		t.Fatal("adversarial-dup family missing")
+	}
+	const groupSize = 4 // one base + three permutations
+	if len(f.Instances)%groupSize != 0 {
+		t.Fatalf("family size %d is not a multiple of the group size %d", len(f.Instances), groupSize)
+	}
+	permuted := 0
+	for g := 0; g < len(f.Instances); g += groupSize {
+		base := f.Instances[g]
+		for k := 1; k < groupSize; k++ {
+			dup := f.Instances[g+k]
+			if base.Fingerprint() != dup.Fingerprint() {
+				t.Errorf("group %d duplicate %d has a different fingerprint", g/groupSize, k)
+			}
+			if !base.Equal(dup) {
+				permuted++
+			}
+		}
+	}
+	if permuted == 0 {
+		t.Error("no duplicate actually permutes its base's processor order; the family cannot stress the remap path")
+	}
+}
+
+// TestPermuteProcs checks the helper against a hand-built expectation and its
+// panic contract.
+func TestPermuteProcs(t *testing.T) {
+	inst := core.NewInstance([]float64{0.1}, []float64{0.2, 0.3}, []float64{0.4})
+	out := PermuteProcs(inst, []int{2, 0, 1})
+	want := core.NewInstance([]float64{0.4}, []float64{0.1}, []float64{0.2, 0.3})
+	if !out.Equal(want) {
+		t.Fatalf("PermuteProcs yielded\n%v\nwant\n%v", out, want)
+	}
+	if out.Fingerprint() != inst.Fingerprint() {
+		t.Fatal("permuting processors changed the fingerprint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PermuteProcs accepted a permutation of the wrong length")
+		}
+	}()
+	PermuteProcs(inst, []int{0, 1})
+}

@@ -1,0 +1,35 @@
+// Package harness is the end-to-end scenario harness of the repository: it
+// turns the generators of internal/gen, the property checkers of
+// internal/core and the HTTP layer of internal/service into one repeatable
+// experiment that exercises the full stack under realistic mixed load.
+//
+// It has three cooperating pieces:
+//
+//   - Corpus (corpus.go): a deterministic builder that expands a single seed
+//     into named instance families — tiny instances the exact solvers finish
+//     instantly, wide many-processor instances, resource-tight instances
+//     whose requirements crowd the unit resource, processor-permuted
+//     duplicates that stress the cache-hit/remap path, and the paper's fixed
+//     constructions as anchors. The same seed always yields the
+//     byte-identical corpus.
+//
+//   - Driver (driver.go): an open-loop replay driver that fires a weighted
+//     mix of synchronous solves, batch solves and asynchronous jobs
+//     (submit + SSE follow) at a base URL — an in-process httptest server or
+//     a remote crserved — and collects per-class latency distributions via
+//     internal/stats, throughput, error/cancel counts and the cache-hit
+//     accounting scraped from /metrics.
+//
+//   - Oracle (oracle.go): every schedule a response carries is re-executed
+//     with core.Execute and revalidated against the paper's invariants
+//     (core.CheckProperties, and CheckProposition1/CheckProposition2 for
+//     balanced schedules); any violation fails the run loudly. The paper's
+//     propositions are thereby the regression oracle of every load test.
+//
+// The golden-corpus regression suite (golden_test.go + testdata/) pins the
+// makespan and waste of every deterministic solver on a fixed corpus so that
+// behavioural drift across refactors fails `go test ./...` unless the
+// fixtures are regenerated with -update.
+//
+// Command crload is the CLI front end of this package.
+package harness

@@ -1,0 +1,551 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"crsharing/internal/jobs"
+	"crsharing/internal/service"
+)
+
+// Request class names, used as mix keys and report labels.
+const (
+	ClassSolve = "solve"
+	ClassBatch = "batch"
+	ClassJobs  = "jobs"
+)
+
+// Mix is the weighted traffic composition of a load run. Weights are
+// relative; a zero weight disables the class.
+type Mix struct {
+	Solve int `json:"solve"`
+	Batch int `json:"batch"`
+	Jobs  int `json:"jobs"`
+}
+
+// DefaultMix leans on synchronous solves with a sprinkle of batch and async
+// traffic, the shape a cache-fronted service sees.
+func DefaultMix() Mix { return Mix{Solve: 8, Batch: 1, Jobs: 1} }
+
+// ParseMix parses a "solve=8,batch=1,jobs=1" specification. Omitted classes
+// get weight zero; an empty string yields DefaultMix.
+func ParseMix(s string) (Mix, error) {
+	if strings.TrimSpace(s) == "" {
+		return DefaultMix(), nil
+	}
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("harness: mix entry %q is not class=weight", part)
+		}
+		var w int
+		if _, err := fmt.Sscanf(v, "%d", &w); err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("harness: mix weight %q must be a non-negative integer", v)
+		}
+		switch k {
+		case ClassSolve:
+			m.Solve = w
+		case ClassBatch:
+			m.Batch = w
+		case ClassJobs:
+			m.Jobs = w
+		default:
+			return Mix{}, fmt.Errorf("harness: unknown mix class %q (want solve, batch or jobs)", k)
+		}
+	}
+	if m.total() == 0 {
+		return Mix{}, errors.New("harness: mix has no positive weight")
+	}
+	return m, nil
+}
+
+func (m Mix) total() int { return m.Solve + m.Batch + m.Jobs }
+
+// pick draws a class proportionally to the weights.
+func (m Mix) pick(rng *rand.Rand) string {
+	n := rng.Intn(m.total())
+	if n < m.Solve {
+		return ClassSolve
+	}
+	if n < m.Solve+m.Batch {
+		return ClassBatch
+	}
+	return ClassJobs
+}
+
+// Config configures a Driver. Zero values of optional fields are replaced by
+// the documented defaults in NewDriver.
+type Config struct {
+	// BaseURL is the server to drive, e.g. "http://127.0.0.1:8080" or an
+	// httptest.Server.URL; required.
+	BaseURL string
+	// Client is the HTTP client to use (default http.DefaultClient).
+	Client *http.Client
+	// Corpus supplies the instances to replay; required.
+	Corpus *Corpus
+	// Mix weights the request classes (default DefaultMix).
+	Mix Mix
+	// Rate is the open-loop arrival rate in requests per second (default
+	// 200). The driver fires on this schedule regardless of how fast the
+	// server answers; when MaxInflight is reached, arrivals are shed and
+	// counted instead of queued, keeping the loop open.
+	Rate float64
+	// Duration is how long arrivals are generated (default 2s). In-flight
+	// requests are drained afterwards.
+	Duration time.Duration
+	// Solver names the registry entry requests ask for; empty uses the
+	// server default.
+	Solver string
+	// SolveTimeout is the deadline sent with sync and batch solves (default
+	// 2s). The default portfolio races exact solvers that may not terminate
+	// on hard instances; at the deadline it returns the best member result
+	// found so far, so a short deadline trades schedule quality for bounded
+	// latency rather than failing.
+	SolveTimeout time.Duration
+	// JobTimeout is the solve budget sent with async job submissions
+	// (default 10s).
+	JobTimeout time.Duration
+	// RequestTimeout bounds each request including an async job's follow
+	// (default 30s).
+	RequestTimeout time.Duration
+	// BatchSize is the number of instances per batch request (default 6).
+	BatchSize int
+	// MaxInflight caps concurrently outstanding requests (default 256).
+	MaxInflight int
+}
+
+// ClassStats aggregates one request class of a finished run.
+type ClassStats struct {
+	// Requests counts completed requests of the class (including failures).
+	Requests int `json:"requests"`
+	// Errors counts transport failures, non-2xx responses and failed batch
+	// results or jobs.
+	Errors int `json:"errors"`
+	// Cancelled counts batch results marked cancelled and jobs that ended
+	// cancelled.
+	Cancelled int `json:"cancelled"`
+	// CacheServed counts responses answered from the cache or coalesced onto
+	// an in-flight solve (sync solves only; batch hits are visible in the
+	// run's cache accounting instead).
+	CacheServed int `json:"cache_served"`
+	// Incumbents counts SSE incumbent events observed (jobs only).
+	Incumbents int `json:"incumbents,omitempty"`
+	// ErrorSamples holds the first few error messages verbatim.
+	ErrorSamples []string `json:"error_samples,omitempty"`
+	// Latency summarises the class's request latencies in milliseconds. For
+	// jobs it spans submit to terminal event.
+	Latency LatencySummary `json:"latency_ms"`
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Seed        int64                  `json:"seed"`
+	Mix         Mix                    `json:"mix"`
+	RatePerSec  float64                `json:"rate_per_sec"`
+	DurationSec float64                `json:"duration_sec"`
+	Requests    int                    `json:"requests"`
+	Shed        int                    `json:"shed"`
+	Throughput  float64                `json:"throughput_rps"`
+	Classes     map[string]*ClassStats `json:"classes"`
+	// Validated counts responses the invariant oracle checked;
+	// ViolationCount is the total number of failures and Violations lists
+	// their messages (bounded — past the cap a truncation sentinel stands in
+	// for the overflow; empty on a healthy run).
+	Validated      int      `json:"validated"`
+	ViolationCount int      `json:"violation_count"`
+	Violations     []string `json:"violations"`
+	// Properties counts validated schedules per structural property.
+	Properties map[string]int `json:"properties"`
+	// Cache is the run's cache accounting from the /metrics delta.
+	Cache CacheAccounting `json:"cache"`
+	// MetricsDelta is the raw /metrics movement over the run.
+	MetricsDelta MetricsSnapshot `json:"metrics_delta"`
+}
+
+// Driver replays corpus traffic against a server. Create one with NewDriver
+// and call Run once.
+type Driver struct {
+	cfg    Config
+	oracle *Oracle
+
+	mu        sync.Mutex
+	latencies map[string][]float64
+	classes   map[string]*ClassStats
+	shed      int
+}
+
+// NewDriver validates the configuration and applies defaults.
+func NewDriver(cfg Config) (*Driver, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("harness: Config.BaseURL is required")
+	}
+	if cfg.Corpus == nil || cfg.Corpus.Size() == 0 {
+		return nil, errors.New("harness: Config.Corpus is required and must be non-empty")
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = DefaultMix()
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 200
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.SolveTimeout <= 0 {
+		cfg.SolveTimeout = 2 * time.Second
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 10 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 6
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 256
+	}
+	return &Driver{
+		cfg:       cfg,
+		oracle:    NewOracle(),
+		latencies: make(map[string][]float64),
+		classes: map[string]*ClassStats{
+			ClassSolve: {},
+			ClassBatch: {},
+			ClassJobs:  {},
+		},
+	}, nil
+}
+
+// Oracle exposes the driver's invariant oracle (for callers that want to
+// inspect violations while a run is in flight).
+func (d *Driver) Oracle() *Oracle { return d.oracle }
+
+// Run generates arrivals for the configured duration, drains the in-flight
+// requests, scrapes the /metrics movement and returns the report. The
+// context cancels the run early; requests already in flight still finish
+// within their own timeouts.
+func (d *Driver) Run(ctx context.Context) (*Report, error) {
+	before, err := ScrapeMetrics(d.cfg.Client, d.cfg.BaseURL+"/metrics")
+	if err != nil {
+		return nil, err
+	}
+
+	items := d.cfg.Corpus.Items()
+	rng := rand.New(rand.NewSource(d.cfg.Corpus.Seed))
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+
+	interval := time.Duration(float64(time.Second) / d.cfg.Rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(d.cfg.Duration)
+	defer deadline.Stop()
+
+	var wg sync.WaitGroup
+	inflight := make(chan struct{}, d.cfg.MaxInflight)
+	start := time.Now()
+	next := 0
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			class := d.cfg.Mix.pick(rng)
+			item := items[next%len(items)]
+			at := next
+			next++
+			select {
+			case inflight <- struct{}{}:
+			default:
+				d.mu.Lock()
+				d.shed++
+				d.mu.Unlock()
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-inflight }()
+				rctx, cancel := context.WithTimeout(ctx, d.cfg.RequestTimeout)
+				defer cancel()
+				began := time.Now()
+				switch class {
+				case ClassSolve:
+					d.doSolve(rctx, item)
+				case ClassBatch:
+					d.doBatch(rctx, items, at)
+				case ClassJobs:
+					d.doJob(rctx, item)
+				}
+				d.record(class, time.Since(began))
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := ScrapeMetrics(d.cfg.Client, d.cfg.BaseURL+"/metrics")
+	if err != nil {
+		return nil, err
+	}
+	return d.report(elapsed, before.Delta(after)), nil
+}
+
+// record stores the class latency and bumps the request count.
+func (d *Driver) record(class string, elapsed time.Duration) {
+	ms := float64(elapsed) / float64(time.Millisecond)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.latencies[class] = append(d.latencies[class], ms)
+	d.classes[class].Requests++
+}
+
+// maxErrorSamples bounds the per-class error strings kept verbatim.
+const maxErrorSamples = 5
+
+func (d *Driver) countError(class string, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs := d.classes[class]
+	cs.Errors++
+	if err != nil && len(cs.ErrorSamples) < maxErrorSamples {
+		cs.ErrorSamples = append(cs.ErrorSamples, err.Error())
+	}
+}
+
+// post sends a JSON body and decodes a JSON response into out. Non-2xx
+// responses are returned as errors carrying the server's message.
+func (d *Driver) post(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.cfg.BaseURL+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var apiErr service.ErrorResponse
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, apiErr.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	return json.Unmarshal(data, out)
+}
+
+// doSolve fires one synchronous solve and revalidates the returned schedule.
+func (d *Driver) doSolve(ctx context.Context, item Item) {
+	var resp service.SolveResponse
+	err := d.post(ctx, "/v1/solve", service.SolveRequest{
+		Solver:          d.cfg.Solver,
+		Instance:        item.Inst,
+		Timeout:         d.cfg.SolveTimeout.String(),
+		IncludeSchedule: true,
+	}, &resp)
+	if err != nil {
+		d.countError(ClassSolve, err)
+		return
+	}
+	if resp.Source != "solve" {
+		d.mu.Lock()
+		d.classes[ClassSolve].CacheServed++
+		d.mu.Unlock()
+	}
+	label := fmt.Sprintf("solve %s/%s", item.Family, item.Inst.Fingerprint().Short())
+	if err := d.oracle.CheckSchedule(label, item.Inst, resp.Schedule, resp.Makespan, resp.Wasted); err != nil {
+		d.countError(ClassSolve, err)
+	}
+}
+
+// doBatch fires one batch solve over a window of the corpus and sanity-checks
+// every per-instance result (batch responses carry no schedules, so the
+// oracle can only hold makespans against the lower bounds).
+func (d *Driver) doBatch(ctx context.Context, items []Item, at int) {
+	batch := make([]Item, 0, d.cfg.BatchSize)
+	for i := 0; i < d.cfg.BatchSize; i++ {
+		batch = append(batch, items[(at+i)%len(items)])
+	}
+	req := service.BatchRequest{Solver: d.cfg.Solver, Timeout: d.cfg.SolveTimeout.String()}
+	for _, it := range batch {
+		req.Instances = append(req.Instances, it.Inst)
+	}
+	var resp service.BatchResponse
+	if err := d.post(ctx, "/v1/batch-solve", req, &resp); err != nil {
+		d.countError(ClassBatch, err)
+		return
+	}
+	for _, res := range resp.Results {
+		switch {
+		case res.Cancelled:
+			d.mu.Lock()
+			d.classes[ClassBatch].Cancelled++
+			d.mu.Unlock()
+		case res.Error != "":
+			d.countError(ClassBatch, errors.New(res.Error))
+		case res.Index < 0 || res.Index >= len(batch):
+			d.countError(ClassBatch, fmt.Errorf("batch response index %d outside [0,%d)", res.Index, len(batch)))
+		default:
+			it := batch[res.Index]
+			label := fmt.Sprintf("batch %s/%s", it.Family, it.Inst.Fingerprint().Short())
+			if err := d.oracle.CheckMakespan(label, it.Inst, res.Makespan); err != nil {
+				d.countError(ClassBatch, err)
+			}
+		}
+	}
+}
+
+// doJob submits an asynchronous job, follows its SSE stream to the terminal
+// state and revalidates the final schedule.
+func (d *Driver) doJob(ctx context.Context, item Item) {
+	var snap jobs.Snapshot
+	req := service.JobRequest{Solver: d.cfg.Solver, Instance: item.Inst, Timeout: d.cfg.JobTimeout.String()}
+	if err := d.post(ctx, "/v1/jobs", req, &snap); err != nil {
+		d.countError(ClassJobs, err)
+		return
+	}
+	incumbents, err := d.followEvents(ctx, snap.ID)
+	d.mu.Lock()
+	d.classes[ClassJobs].Incumbents += incumbents
+	d.mu.Unlock()
+	if err != nil {
+		d.countError(ClassJobs, err)
+		return
+	}
+	final, err := d.getJob(ctx, snap.ID)
+	if err != nil {
+		d.countError(ClassJobs, err)
+		return
+	}
+	switch final.State {
+	case jobs.StateDone:
+		label := fmt.Sprintf("job %s %s/%s", final.ID, item.Family, item.Inst.Fingerprint().Short())
+		if final.Result == nil {
+			err := d.oracle.CheckSchedule(label, item.Inst, nil, -1, -1)
+			d.countError(ClassJobs, err)
+			return
+		}
+		if err := d.oracle.CheckSchedule(label, item.Inst, final.Result.Schedule, final.Result.Makespan, final.Result.Wasted); err != nil {
+			d.countError(ClassJobs, err)
+		}
+	case jobs.StateCancelled:
+		d.mu.Lock()
+		d.classes[ClassJobs].Cancelled++
+		d.mu.Unlock()
+	default:
+		d.countError(ClassJobs, fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error))
+	}
+}
+
+// followEvents reads the job's SSE stream until the server closes it at a
+// terminal state (or the context expires) and returns the number of
+// incumbent events seen.
+func (d *Driver) followEvents(ctx context.Context, id string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.cfg.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := d.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("events: %s", resp.Status)
+	}
+	incumbents := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "event: incumbent" {
+			incumbents++
+		}
+	}
+	// EOF means the stream reached a terminal state; any other error is the
+	// context expiring mid-stream.
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return incumbents, err
+	}
+	return incumbents, nil
+}
+
+func (d *Driver) getJob(ctx context.Context, id string) (*jobs.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.cfg.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := d.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("job %s: %s", id, resp.Status)
+	}
+	var snap jobs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// report assembles the final Report.
+func (d *Driver) report(elapsed time.Duration, delta MetricsSnapshot) *Report {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rep := &Report{
+		Seed:           d.cfg.Corpus.Seed,
+		Mix:            d.cfg.Mix,
+		RatePerSec:     d.cfg.Rate,
+		DurationSec:    elapsed.Seconds(),
+		Shed:           d.shed,
+		Classes:        make(map[string]*ClassStats, len(d.classes)),
+		Validated:      d.oracle.Validated(),
+		ViolationCount: d.oracle.ViolationCount(),
+		Violations:     append([]string{}, d.oracle.Violations()...),
+		Properties:     d.oracle.Properties(),
+		Cache:          delta.Cache(),
+		MetricsDelta:   delta,
+	}
+	for class, cs := range d.classes {
+		c := *cs
+		c.Latency = summarizeLatency(d.latencies[class])
+		rep.Classes[class] = &c
+		rep.Requests += c.Requests
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	}
+	return rep
+}

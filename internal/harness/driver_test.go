@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"crsharing/internal/jobs"
+	"crsharing/internal/service"
+	"crsharing/internal/solver"
+)
+
+// newHarnessServer wires the full stack — registry, shared cache, job
+// manager, HTTP layer — behind an httptest listener, defaulting to the fast
+// deterministic greedy-balance solver so driver tests stay quick under
+// -race.
+func newHarnessServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	cache := solver.NewCache(8, 1024)
+	manager, err := jobs.New(jobs.Config{
+		Registry:       solver.Default(),
+		Cache:          cache,
+		DefaultSolver:  "greedy-balance",
+		Workers:        2,
+		QueueDepth:     256,
+		DefaultTimeout: 10 * time.Second,
+		MaxTimeout:     30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := service.New(service.Config{
+		Registry:      solver.Default(),
+		Cache:         cache,
+		DefaultSolver: "greedy-balance",
+		MaxConcurrent: 32,
+		Jobs:          manager,
+		Version:       "harness-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := manager.Close(ctx); err != nil {
+			t.Errorf("job manager close: %v", err)
+		}
+	})
+	return ts
+}
+
+// TestDriverEndToEnd replays a short mixed load against the in-process stack
+// and asserts the acceptance contract: every class sees traffic, every
+// schedule revalidates with zero violations, and the duplicate-heavy corpus
+// produces cache hits.
+func TestDriverEndToEnd(t *testing.T) {
+	ts := newHarnessServer(t)
+	d, err := NewDriver(Config{
+		BaseURL:  ts.URL,
+		Corpus:   BuildCorpus(1),
+		Mix:      Mix{Solve: 6, Batch: 2, Jobs: 2},
+		Rate:     400,
+		Duration: 700 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Requests == 0 {
+		t.Fatal("driver completed no requests")
+	}
+	if rep.ViolationCount != 0 || len(rep.Violations) != 0 {
+		t.Fatalf("invariant violations (%d): %v", rep.ViolationCount, rep.Violations)
+	}
+	if rep.Validated == 0 {
+		t.Fatal("oracle validated nothing")
+	}
+	for _, class := range []string{ClassSolve, ClassBatch, ClassJobs} {
+		cs := rep.Classes[class]
+		if cs == nil || cs.Requests == 0 {
+			t.Errorf("class %s saw no traffic: %+v", class, cs)
+			continue
+		}
+		if cs.Errors != 0 {
+			t.Errorf("class %s reported errors: %+v (samples %v)", class, cs, cs.ErrorSamples)
+		}
+		if cs.Latency.Count == 0 || cs.Latency.P50MS < 0 || cs.Latency.P99MS < cs.Latency.P50MS {
+			t.Errorf("class %s latency summary is inconsistent: %+v", class, cs.Latency)
+		}
+	}
+	if rep.Cache.CacheServed == 0 {
+		t.Error("replay of a duplicate-heavy corpus produced no cache hits")
+	}
+	if rep.Cache.HitRatio <= 0 || rep.Cache.HitRatio > 1 {
+		t.Errorf("cache hit ratio %v outside (0, 1]", rep.Cache.HitRatio)
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("throughput %v not positive", rep.Throughput)
+	}
+	if txt := rep.Text(); txt == "" {
+		t.Error("empty text report")
+	}
+	if data, err := rep.JSON(); err != nil || len(data) == 0 {
+		t.Errorf("JSON report: %v", err)
+	}
+}
+
+// TestDriverCountsServerErrors drives a server whose solve endpoint always
+// fails and checks errors are attributed, not dropped.
+func TestDriverCountsServerErrors(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {})
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	d, err := NewDriver(Config{
+		BaseURL:  ts.URL,
+		Corpus:   BuildCorpus(1),
+		Mix:      Mix{Solve: 1},
+		Rate:     300,
+		Duration: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := rep.Classes[ClassSolve]
+	if cs.Requests == 0 || cs.Errors != cs.Requests {
+		t.Fatalf("want every request counted as an error, got %+v", cs)
+	}
+	if len(cs.ErrorSamples) == 0 {
+		t.Fatal("no error samples recorded")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Mix
+		wantErr bool
+	}{
+		{"", DefaultMix(), false},
+		{"solve=8,batch=1,jobs=1", Mix{Solve: 8, Batch: 1, Jobs: 1}, false},
+		{"solve=1", Mix{Solve: 1}, false},
+		{" jobs=3 , solve=2 ", Mix{Solve: 2, Jobs: 3}, false},
+		{"solve=0,batch=0,jobs=0", Mix{}, true},
+		{"warp=1", Mix{}, true},
+		{"solve=-1", Mix{}, true},
+		{"solve", Mix{}, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseMix(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseMix(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMix(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseMix(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestScrapeMetrics(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("# HELP x y\n# TYPE x counter\nx 3\nlabelled{a=\"b\"} 9\nmalformed\ny 1.5\n"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	snap, err := ScrapeMetrics(ts.Client(), ts.URL+"/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap["x"] != 3 || snap["y"] != 1.5 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	if _, ok := snap[`labelled{a="b"}`]; ok {
+		t.Fatal("labelled sample should be skipped")
+	}
+
+	delta := MetricsSnapshot{"x": 1}.Delta(MetricsSnapshot{"x": 4, "z": 2})
+	if delta["x"] != 3 || delta["z"] != 2 {
+		t.Fatalf("delta %v", delta)
+	}
+	acc := MetricsSnapshot{
+		"crsharing_solves_total":       2,
+		"crsharing_cache_served_total": 6,
+	}.Cache()
+	if acc.HitRatio != 0.75 || acc.FreshSolves != 2 || acc.CacheServed != 6 {
+		t.Fatalf("cache accounting %+v", acc)
+	}
+}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// MetricsSnapshot is a parsed /metrics scrape: sample name to value. Only
+// un-labelled samples are kept, which covers every metric the service
+// exposes.
+type MetricsSnapshot map[string]float64
+
+// ScrapeMetrics fetches and parses the Prometheus text exposition at url
+// (typically <base>/metrics).
+func ScrapeMetrics(client *http.Client, url string) (MetricsSnapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("harness: scraping %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("harness: scraping %s: status %s", url, resp.Status)
+	}
+	snap := make(MetricsSnapshot)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.Contains(fields[0], "{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		snap[fields[0]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("harness: scraping %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// Delta returns after-before for every sample present in after; samples
+// absent from before count from zero.
+func (before MetricsSnapshot) Delta(after MetricsSnapshot) MetricsSnapshot {
+	d := make(MetricsSnapshot, len(after))
+	for k, v := range after {
+		d[k] = v - before[k]
+	}
+	return d
+}
+
+// CacheAccounting summarises the cache-related movement of a metrics delta.
+type CacheAccounting struct {
+	// FreshSolves is the number of solver invocations (cache misses and
+	// uncached solves) the run caused.
+	FreshSolves float64 `json:"fresh_solves"`
+	// CacheServed is the number of requests answered from the memo cache or
+	// by coalescing onto an in-flight solve.
+	CacheServed float64 `json:"cache_served"`
+	// HitRatio is CacheServed / (CacheServed + FreshSolves), 0 when idle.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// Cache reads the cache accounting off a metrics delta.
+func (d MetricsSnapshot) Cache() CacheAccounting {
+	acc := CacheAccounting{
+		FreshSolves: d["crsharing_solves_total"],
+		CacheServed: d["crsharing_cache_served_total"],
+	}
+	if total := acc.FreshSolves + acc.CacheServed; total > 0 {
+		acc.HitRatio = acc.CacheServed / total
+	}
+	return acc
+}

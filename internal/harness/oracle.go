@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"crsharing/internal/core"
+)
+
+// Oracle revalidates schedules returned by the service against the paper's
+// invariants. It is safe for concurrent use; the load driver calls it from
+// every in-flight request goroutine.
+//
+// A schedule passes when it executes feasibly, finishes every job, reproduces
+// the makespan and waste the response claimed, and — when it is balanced —
+// additionally satisfies Propositions 1 and 2. Structural property counts
+// (non-wasting, progressive, nested, balanced) are tallied for the report but
+// are not violations: the heuristics legitimately produce schedules without
+// them.
+type Oracle struct {
+	mu             sync.Mutex
+	validated      int
+	violationCount int
+	violations     []string
+	properties     map[string]int
+}
+
+// maxRecordedViolations bounds the violation strings kept verbatim;
+// ViolationCount keeps increasing past it.
+const maxRecordedViolations = 32
+
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle {
+	return &Oracle{properties: make(map[string]int)}
+}
+
+// CheckSchedule revalidates one returned schedule against the instance the
+// request carried. wantMakespan and wantWasted are the response's claims;
+// pass a negative wantWasted to skip the waste comparison (endpoints that do
+// not report it). It returns the violation error, which is also recorded.
+func (o *Oracle) CheckSchedule(label string, inst *core.Instance, sched *core.Schedule, wantMakespan int, wantWasted float64) error {
+	err := o.check(inst, sched, wantMakespan, wantWasted)
+	if err != nil {
+		err = fmt.Errorf("%s: %w", label, err)
+	}
+	o.record(err)
+	return err
+}
+
+// record counts one validation and, on failure, the violation; the first
+// maxRecordedViolations messages are kept verbatim, later ones collapse into
+// a truncation sentinel while the count keeps growing.
+func (o *Oracle) record(err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.validated++
+	if err == nil {
+		return
+	}
+	o.violationCount++
+	if len(o.violations) < maxRecordedViolations {
+		o.violations = append(o.violations, err.Error())
+	} else {
+		o.violations[maxRecordedViolations-1] = fmt.Sprintf("... %d further violations truncated", o.violationCount-maxRecordedViolations+1)
+	}
+}
+
+func (o *Oracle) check(inst *core.Instance, sched *core.Schedule, wantMakespan int, wantWasted float64) error {
+	if sched == nil {
+		return fmt.Errorf("harness: response carried no schedule")
+	}
+	res, err := core.Execute(inst, sched)
+	if err != nil {
+		return fmt.Errorf("harness: schedule does not execute: %w", err)
+	}
+	if !res.Finished() {
+		return fmt.Errorf("harness: schedule leaves jobs unfinished")
+	}
+	if wantMakespan >= 0 && res.Makespan() != wantMakespan {
+		return fmt.Errorf("harness: response claims makespan %d, execution yields %d", wantMakespan, res.Makespan())
+	}
+	if wantWasted >= 0 && math.Abs(res.Wasted()-wantWasted) > 1e-6 {
+		return fmt.Errorf("harness: response claims waste %.9f, execution yields %.9f", wantWasted, res.Wasted())
+	}
+	if lb := core.LowerBounds(inst).Best(); res.Makespan() < lb {
+		return fmt.Errorf("harness: makespan %d beats the lower bound %d — execution or bound is wrong", res.Makespan(), lb)
+	}
+	props := core.CheckProperties(res)
+	o.countProperties(props)
+	if props.Balanced {
+		if err := core.CheckProposition1(res); err != nil {
+			return fmt.Errorf("harness: balanced schedule violates Proposition 1: %w", err)
+		}
+		if err := core.CheckProposition2(res); err != nil {
+			return fmt.Errorf("harness: balanced schedule violates Proposition 2: %w", err)
+		}
+	}
+	return nil
+}
+
+// CheckMakespan is the schedule-less variant for endpoints that return only
+// aggregates (batch solve): the claimed makespan must not beat the
+// instance's best lower bound.
+func (o *Oracle) CheckMakespan(label string, inst *core.Instance, makespan int) error {
+	var err error
+	if lb := core.LowerBounds(inst).Best(); makespan < lb {
+		err = fmt.Errorf("%s: harness: claimed makespan %d beats the lower bound %d", label, makespan, lb)
+	}
+	o.record(err)
+	return err
+}
+
+func (o *Oracle) countProperties(p core.Properties) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if p.NonWasting {
+		o.properties["non-wasting"]++
+	}
+	if p.Progressive {
+		o.properties["progressive"]++
+	}
+	if p.Nested {
+		o.properties["nested"]++
+	}
+	if p.Balanced {
+		o.properties["balanced"]++
+	}
+}
+
+// Validated returns the number of responses the oracle checked.
+func (o *Oracle) Validated() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.validated
+}
+
+// ViolationCount returns the total number of violations, including any whose
+// messages were truncated out of Violations.
+func (o *Oracle) ViolationCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.violationCount
+}
+
+// Violations returns the recorded violation messages (bounded; see
+// ViolationCount for the unbounded total) — empty means every checked
+// response upheld the invariants.
+func (o *Oracle) Violations() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]string(nil), o.violations...)
+}
+
+// Properties returns how many validated schedules satisfied each structural
+// property.
+func (o *Oracle) Properties() map[string]int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]int, len(o.properties))
+	for k, v := range o.properties {
+		out[k] = v
+	}
+	return out
+}

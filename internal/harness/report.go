@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"crsharing/internal/stats"
+)
+
+// LatencySummary is a latency distribution in milliseconds, read off one
+// stats.Summarize pass over the class's samples.
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	MinMS  float64 `json:"min_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	// Histogram is the fixed-width ASCII histogram of the samples (empty
+	// when there are none); it renders under the summary line in text
+	// reports and survives into the JSON artifact for offline inspection.
+	Histogram string `json:"histogram,omitempty"`
+}
+
+// summarizeLatency folds millisecond samples into a LatencySummary with a
+// 20-bucket histogram spanning the observed range.
+func summarizeLatency(ms []float64) LatencySummary {
+	s := stats.Summarize(ms)
+	out := LatencySummary{
+		Count:  s.Count,
+		MeanMS: s.Mean,
+		MinMS:  s.Min,
+		P50MS:  s.P50,
+		P90MS:  s.P90,
+		P99MS:  s.P99,
+		MaxMS:  s.Max,
+	}
+	if s.Count > 0 {
+		hi := s.Max
+		if hi <= s.Min {
+			hi = s.Min + 1
+		}
+		h := stats.NewHistogram(s.Min, hi+(hi-s.Min)*1e-9, 20)
+		for _, x := range ms {
+			h.Add(x)
+		}
+		out.Histogram = h.String()
+	}
+	return out
+}
+
+// JSON serialises the report, indented, for the BENCH_load.json artifact.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Text renders the human-readable run summary: one block per class with the
+// latency summary and histogram, then the oracle verdict and the cache
+// accounting.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "crload: seed=%d rate=%g/s duration=%.2fs mix=solve:%d,batch:%d,jobs:%d\n",
+		r.Seed, r.RatePerSec, r.DurationSec, r.Mix.Solve, r.Mix.Batch, r.Mix.Jobs)
+	fmt.Fprintf(&b, "requests=%d shed=%d throughput=%.1f req/s\n", r.Requests, r.Shed, r.Throughput)
+
+	classes := make([]string, 0, len(r.Classes))
+	for c := range r.Classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		cs := r.Classes[class]
+		fmt.Fprintf(&b, "\n[%s] requests=%d errors=%d cancelled=%d", class, cs.Requests, cs.Errors, cs.Cancelled)
+		if class == ClassSolve {
+			fmt.Fprintf(&b, " cache-served=%d", cs.CacheServed)
+		}
+		if class == ClassJobs {
+			fmt.Fprintf(&b, " incumbents=%d", cs.Incumbents)
+		}
+		b.WriteByte('\n')
+		for _, e := range cs.ErrorSamples {
+			fmt.Fprintf(&b, "  error: %s\n", e)
+		}
+		if cs.Latency.Count > 0 {
+			fmt.Fprintf(&b, "  latency ms: p50=%.3f p90=%.3f p99=%.3f mean=%.3f min=%.3f max=%.3f\n",
+				cs.Latency.P50MS, cs.Latency.P90MS, cs.Latency.P99MS,
+				cs.Latency.MeanMS, cs.Latency.MinMS, cs.Latency.MaxMS)
+			for _, line := range strings.Split(strings.TrimRight(cs.Latency.Histogram, "\n"), "\n") {
+				fmt.Fprintf(&b, "  %s\n", line)
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "\noracle: validated=%d violations=%d\n", r.Validated, r.ViolationCount)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION %s\n", v)
+	}
+	props := make([]string, 0, len(r.Properties))
+	for p := range r.Properties {
+		props = append(props, p)
+	}
+	sort.Strings(props)
+	for _, p := range props {
+		fmt.Fprintf(&b, "  property %-12s %d\n", p, r.Properties[p])
+	}
+	fmt.Fprintf(&b, "cache: fresh-solves=%.0f served=%.0f hit-ratio=%.3f\n",
+		r.Cache.FreshSolves, r.Cache.CacheServed, r.Cache.HitRatio)
+	return b.String()
+}

@@ -1,0 +1,246 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"crsharing/internal/core"
+	"crsharing/internal/gen"
+	"crsharing/internal/jobs"
+	"crsharing/internal/solver"
+)
+
+// TestEndToEnd is the Go port of the CI shell smoke that used to drive a
+// crserved binary with curl: it wires the production stack — full solver
+// registry, sharded memo cache, job manager — behind an httptest listener
+// and walks the whole lifecycle: health probe, fresh solve, cache-served
+// repeat, batch solve, async job with SSE follow, metrics accounting, and
+// graceful shutdown. Unlike the shell version it revalidates the returned
+// schedules with core.Execute and runs race-enabled with the rest of the
+// suite.
+func TestEndToEnd(t *testing.T) {
+	reg := solver.Default()
+	cache := solver.NewCache(8, 256)
+	manager, err := jobs.New(jobs.Config{
+		Registry:       reg,
+		Cache:          cache,
+		DefaultSolver:  "portfolio",
+		Workers:        2,
+		QueueDepth:     64,
+		DefaultTimeout: 20 * time.Second,
+		MaxTimeout:     time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Registry: reg,
+		Cache:    cache,
+		Jobs:     manager,
+		Version:  "e2e",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Liveness first, as the shell loop did before sending traffic.
+	var health HealthResponse
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "ok" || health.Version != "e2e" {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	// Fresh solve of the Figure 3 worst-case family (the shell smoke's
+	// instance), with the schedule included so it can be revalidated.
+	inst := gen.Figure3(10)
+	var first SolveResponse
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+		Instance:        inst,
+		Timeout:         "10s",
+		IncludeSchedule: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != string(solver.SourceSolve) {
+		t.Fatalf("first solve source %q, want %q", first.Source, solver.SourceSolve)
+	}
+	assertScheduleMatches(t, inst, first.Schedule, first.Makespan)
+
+	// The identical repeat must be answered from the cache with the same
+	// fingerprint and result.
+	var second SolveResponse
+	resp, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: inst, Timeout: "10s"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat solve status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Source != string(solver.SourceCache) {
+		t.Fatalf("repeat source %q, want %q", second.Source, solver.SourceCache)
+	}
+	if second.Fingerprint != first.Fingerprint || second.Makespan != first.Makespan {
+		t.Fatalf("cache replay diverged: %+v vs %+v", second, first)
+	}
+
+	// Batch solve mixes the cached instance with fresh ones.
+	var batch BatchResponse
+	resp, body = postJSON(t, ts.URL+"/v1/batch-solve", BatchRequest{
+		Instances: []*core.Instance{inst, gen.Figure1(), gen.Figure2()},
+		Timeout:   "10s",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Count != 3 || batch.Solved != 3 || batch.Failed != 0 || batch.Cancelled != 0 {
+		t.Fatalf("batch outcome: %+v", batch)
+	}
+
+	// Async job lifecycle on a fresh (uncached) instance: accepted pending,
+	// SSE stream reaches a terminal state, record carries a valid schedule.
+	jobInst := gen.Figure3(12)
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", JobRequest{Instance: jobInst, Timeout: "20s"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job submit status %d: %s", resp.StatusCode, body)
+	}
+	var submitted jobs.Snapshot
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	if submitted.ID == "" || submitted.State.Terminal() {
+		t.Fatalf("bad submit snapshot: %+v", submitted)
+	}
+	events := readSSE(t, ts.URL+"/v1/jobs/"+submitted.ID+"/events")
+	sawTerminal := false
+	for _, ev := range events {
+		if ev.name == string(jobs.EventState) && ev.data.State.Terminal() {
+			sawTerminal = true
+		}
+	}
+	if !sawTerminal {
+		t.Fatalf("SSE stream ended without a terminal state: %+v", events)
+	}
+	final := getJob(t, ts, submitted.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("job not done: %+v", final)
+	}
+	if final.Result == nil {
+		t.Fatalf("done job without result: %+v", final)
+	}
+	assertScheduleMatches(t, jobInst, final.Result.Schedule, final.Result.Makespan)
+
+	// Metrics must account for everything above, as the shell greps did.
+	metricsBody := getText(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"crsharing_solves_total",
+		"crsharing_cache_served_total",
+		"crsharing_jobs_done_total 1",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+	if metric(t, metricsBody, "crsharing_solves_total") < 1 {
+		t.Error("no fresh solve counted")
+	}
+	if metric(t, metricsBody, "crsharing_cache_served_total") < 1 {
+		t.Error("no cache-served response counted")
+	}
+
+	// Graceful shutdown: the listener drains, then the manager closes
+	// cleanly and refuses further submissions (what SIGINT does in
+	// cmd/crserved).
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := manager.Close(ctx); err != nil {
+		t.Fatalf("graceful manager close: %v", err)
+	}
+	if _, err := manager.Submit(jobs.Request{Instance: gen.Figure1()}); !errors.Is(err, jobs.ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+// assertScheduleMatches re-executes a returned schedule and checks it
+// finishes the instance with the claimed makespan — the minimal invariant
+// oracle (internal/harness carries the full one; service tests cannot import
+// it without inverting the layer order, so the check is inlined).
+func assertScheduleMatches(t *testing.T, inst *core.Instance, sched *core.Schedule, makespan int) {
+	t.Helper()
+	if sched == nil {
+		t.Fatal("response carried no schedule")
+	}
+	res, err := core.Execute(inst, sched)
+	if err != nil {
+		t.Fatalf("returned schedule does not execute: %v", err)
+	}
+	if !res.Finished() {
+		t.Fatal("returned schedule leaves jobs unfinished")
+	}
+	if res.Makespan() != makespan {
+		t.Fatalf("claimed makespan %d, execution yields %d", makespan, res.Makespan())
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// metric extracts an un-labelled sample value from a Prometheus text body.
+func metric(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("metric %s has non-numeric value %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s absent", name)
+	return 0
+}
