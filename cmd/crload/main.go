@@ -22,16 +22,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http/httptest"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"crsharing/internal/harness"
-	"crsharing/internal/jobs"
-	"crsharing/internal/service"
-	"crsharing/internal/solver"
 )
 
 func main() {
@@ -63,13 +59,22 @@ func main() {
 
 	base := *addr
 	if base == "" {
-		ts, shutdown, err := inProcessServer()
+		// The full production stack — one shared engine (registry, memo
+		// cache, admission semaphore, telemetry), job manager, HTTP layer —
+		// behind an httptest listener. The driver deliberately saturates the
+		// server; the stack's generous default admission budget keeps
+		// queueing delay out of the measured latencies.
+		stack, err := harness.NewStack(harness.StackConfig{Version: "crload"})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		defer shutdown()
-		base = ts.URL
+		defer func() {
+			if err := stack.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "crload: shutdown: %v\n", err)
+			}
+		}()
+		base = stack.URL
 		fmt.Fprintf(os.Stderr, "crload: driving in-process server at %s\n", base)
 	}
 
@@ -121,45 +126,4 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "crload: OK: %d responses validated, zero invariant violations\n", report.Validated)
-}
-
-// inProcessServer wires the full production stack (registry, sharded memo
-// cache, job manager, HTTP layer) behind an httptest listener and returns
-// the listener plus an ordered shutdown function.
-func inProcessServer() (*httptest.Server, func(), error) {
-	cache := solver.NewCache(16, 4096)
-	manager, err := jobs.New(jobs.Config{
-		Registry:       solver.Default(),
-		Cache:          cache,
-		DefaultSolver:  "portfolio",
-		Workers:        4,
-		QueueDepth:     1024,
-		DefaultTimeout: time.Minute,
-		MaxTimeout:     10 * time.Minute,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	srv, err := service.New(service.Config{
-		Registry: solver.Default(),
-		Cache:    cache,
-		Jobs:     manager,
-		// The driver deliberately saturates the server; a generous solve
-		// budget keeps queueing delay out of the measured latencies.
-		MaxConcurrent: 64,
-		Version:       "crload",
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	ts := httptest.NewServer(srv.Handler())
-	shutdown := func() {
-		ts.Close()
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := manager.Close(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "crload: job shutdown: %v\n", err)
-		}
-	}
-	return ts, shutdown, nil
 }

@@ -1,8 +1,10 @@
 // Command crsched solves a CRSharing instance with a chosen solver and
 // reports the schedule, its makespan, the lower bounds, the structural
 // properties of Section 4 and, on request, the scheduling hypergraph of
-// Section 3.2. All solvers are selected from the solver registry, so every
-// run supports timeouts, the parallel kernels and portfolio mode.
+// Section 3.2. Every solve — single or batch — is submitted to the
+// internal/engine pipeline, the same admission/telemetry layer the HTTP
+// service uses, so runs support timeouts, the parallel kernels, portfolio
+// mode and per-solve search telemetry (nodes explored, incumbents).
 //
 // Usage examples:
 //
@@ -25,9 +27,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"crsharing/internal/core"
+	"crsharing/internal/engine"
 	"crsharing/internal/hypergraph"
 	"crsharing/internal/render"
 	"crsharing/internal/solver"
@@ -39,7 +43,7 @@ func main() {
 	in := flag.String("in", "", "instance JSON file (default: stdin)")
 	list := flag.Bool("list", false, "list available solvers and exit")
 	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
-	workers := flag.Int("workers", 0, "worker pool size for -batch (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "engine concurrency budget for -batch (0 = GOMAXPROCS)")
 	batch := flag.Bool("batch", false, "treat the input as a JSON array of instances and solve them in parallel")
 	showSchedule := flag.Bool("schedule", false, "print the full per-step resource assignment")
 	showGantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
@@ -68,8 +72,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	concurrency := *workers
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	eng, err := engine.New(engine.Config{
+		Registry:      reg,
+		DefaultSolver: "greedy-balance",
+		MaxConcurrent: concurrency,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	if *batch {
-		if err := runBatch(ctx, reg, *algoName, data, *workers); err != nil {
+		if err := runBatch(ctx, eng, *algoName, data, concurrency); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			if errors.Is(err, errBatchCancelled) {
 				os.Exit(3)
@@ -84,30 +102,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "crsched: parsing instance: %v\n", err)
 		os.Exit(2)
 	}
-	s, err := reg.New(*algoName)
-	if err != nil {
+	if _, err := eng.ResolveSolver(*algoName); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	ev, err := solver.Evaluate(ctx, s, &inst)
+	// The -timeout flag bounds the solve through ctx; NoDeadline keeps the
+	// engine from imposing its own default on an interactive run.
+	res, err := eng.Solve(ctx, engine.Request{Solver: *algoName, Instance: &inst, Timeout: engine.NoDeadline})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	ev := res.Evaluation
+	tel := res.Telemetry
 
 	bounds := core.LowerBounds(&inst)
 	fmt.Printf("instance: m=%d, jobs=%d, total work=%.3f\n", inst.NumProcessors(), inst.TotalJobs(), inst.TotalWork())
 	fmt.Printf("algorithm: %s\n", ev.Algorithm)
 	fmt.Printf("makespan: %d\n", ev.Makespan)
-	fmt.Printf("lower bounds: work=%d chain=%d best=%d\n", bounds.Work, bounds.Chain, bounds.Best())
+	fmt.Printf("lower bounds: work=%d chain=%d best=%d (%s)\n", bounds.Work, bounds.Chain, bounds.Best(), bounds.Kind())
 	fmt.Printf("ratio to lower bound: %.4f\n", ev.Ratio)
 	fmt.Printf("wasted resource: %.4f\n", ev.Wasted)
 	fmt.Printf("properties: %s\n", ev.Properties)
 	fmt.Printf("solve time: %s\n", ev.Stats.Elapsed.Round(time.Microsecond))
+	if tel.Nodes > 0 || tel.Incumbents > 0 {
+		fmt.Printf("search: %d nodes explored, %d incumbent improvements\n", tel.Nodes, tel.Incumbents)
+	}
 	for _, c := range ev.Stats.Candidates {
-		if c.Err != nil {
+		switch {
+		case c.Err != nil:
 			fmt.Printf("  candidate %-32s error: %v\n", c.Solver, c.Err)
-		} else {
+		case c.Nodes > 0:
+			fmt.Printf("  candidate %-32s makespan=%d waste=%.4f nodes=%d in %s\n",
+				c.Solver, c.Makespan, c.Wasted, c.Nodes, c.Elapsed.Round(time.Microsecond))
+		default:
 			fmt.Printf("  candidate %-32s makespan=%d waste=%.4f in %s\n",
 				c.Solver, c.Makespan, c.Wasted, c.Elapsed.Round(time.Microsecond))
 		}
@@ -149,26 +177,19 @@ func main() {
 // main maps it to exit code 3, distinct from exit 1 for solver failures.
 var errBatchCancelled = errors.New("cancelled before being attempted")
 
-// runBatch parses a JSON array of instances and solves them all through
-// solver.ParallelEach, printing one summary line per instance. Instances the
-// fail-fast path never handed to a solver (Outcome.Skipped) are reported as
-// "cancelled", not as solver failures.
-func runBatch(ctx context.Context, reg *solver.Registry, algoName string, data []byte, workers int) error {
+// runBatch parses a JSON array of instances and solves them all through the
+// engine's batch fan-out, printing one summary line per instance. Instances
+// the fail-fast path never handed to a solver (Outcome.Skipped) are reported
+// as "cancelled", not as solver failures.
+func runBatch(ctx context.Context, eng *engine.Engine, algoName string, data []byte, workers int) error {
 	var insts []*core.Instance
 	if err := json.Unmarshal(data, &insts); err != nil {
 		return fmt.Errorf("crsched: parsing instance array: %w", err)
 	}
-	if _, err := reg.New(algoName); err != nil {
+	if _, err := eng.ResolveSolver(algoName); err != nil {
 		return err
 	}
-	newSolver := func() solver.Solver {
-		s, err := reg.New(algoName)
-		if err != nil {
-			panic(err) // unreachable: validated above
-		}
-		return s
-	}
-	outcomes := solver.ParallelEach(ctx, newSolver, insts, workers)
+	outcomes := eng.SolveEach(ctx, algoName, insts, workers)
 	failed, cancelled := 0, 0
 	for _, out := range outcomes {
 		switch {
@@ -179,8 +200,11 @@ func runBatch(ctx context.Context, reg *solver.Registry, algoName string, data [
 			failed++
 			fmt.Printf("#%-3d error: %v\n", out.Index, out.Err)
 		default:
-			fmt.Printf("#%-3d makespan=%-4d waste=%.4f solver=%s in %s\n",
-				out.Index, out.Makespan, out.Wasted, out.Stats.Solver, out.Stats.Elapsed.Round(time.Microsecond))
+			tel := out.Result.Telemetry
+			stats := out.Result.Evaluation.Stats
+			fmt.Printf("#%-3d makespan=%-4d waste=%.4f solver=%s nodes=%d in %s\n",
+				out.Index, tel.Makespan, tel.Wasted, stats.Solver, tel.Nodes,
+				stats.Elapsed.Round(time.Microsecond))
 		}
 	}
 	solved := len(insts) - failed - cancelled

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"crsharing"
+	"crsharing/internal/engine"
 	"crsharing/internal/jobs"
 	"crsharing/internal/service"
 	"crsharing/internal/solver"
@@ -67,6 +68,22 @@ func main() {
 		cache = solver.NewCache(*cacheShards, *cacheCapacity)
 	}
 
+	// One engine for the whole process: the synchronous handlers, the batch
+	// fan-out and the job workers all draw from this admission budget and
+	// memo cache, and all report into the same solve telemetry.
+	eng, err := engine.New(engine.Config{
+		Registry:       solver.Default(),
+		Cache:          cache,
+		DefaultSolver:  *defaultSolver,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxConcurrent:  *maxConcurrent,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	var manager *jobs.Manager
 	if *queue > 0 {
 		var store jobs.Store
@@ -78,10 +95,8 @@ func main() {
 			}
 			store = fs
 		}
-		var err error
 		manager, err = jobs.New(jobs.Config{
-			Registry:       solver.Default(),
-			Cache:          cache,
+			Engine:         eng,
 			DefaultSolver:  *defaultSolver,
 			Workers:        *workers,
 			QueueDepth:     *queue,
@@ -97,15 +112,10 @@ func main() {
 	}
 
 	srv, err := service.New(service.Config{
-		Registry:       solver.Default(),
-		Cache:          cache,
-		DefaultSolver:  *defaultSolver,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-		MaxBatch:       *maxBatch,
-		MaxConcurrent:  *maxConcurrent,
-		Jobs:           manager,
-		Version:        crsharing.Version,
+		Engine:   eng,
+		MaxBatch: *maxBatch,
+		Jobs:     manager,
+		Version:  crsharing.Version,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -29,27 +29,44 @@
 //   - ParallelEach: shards a batch of instances across a worker pool
 //     (GOMAXPROCS by default) for experiment-scale throughput.
 //
+// # Solve pipeline (internal/engine)
+//
+// Every surface that wants an instance solved — the HTTP handlers, the
+// batch fan-out, the asynchronous job workers, the CLIs and the load
+// harness — submits an engine.Request to one shared engine.Engine, which
+// owns the request lifecycle end to end: solver resolution, deadline
+// clamping against the caller's limits, memo-cache routing, admission
+// through a global weighted FIFO semaphore (the one concurrency budget of
+// the process), incumbent-observer attachment, and telemetry. Each solve
+// yields a structured engine.Telemetry (cache source, elapsed and
+// admission-queue time, search nodes and incumbents counted by the kernels
+// through internal/progress, the memoised lower bound and which bound it
+// is, ratio, steps, waste, properties) that is surfaced uniformly in solve
+// responses, job records, SSE events, /metrics histograms and the crload
+// report.
+//
 // # Serving layer
 //
-// internal/service and cmd/crserved turn the solver subsystem into a
-// long-running HTTP service. Instances are identified by a canonical
-// fingerprint (core.Fingerprint: an order-normalized hash of the processor
-// and job data, so permuting identical processors maps to the same key) and
+// internal/service and cmd/crserved turn the engine into a long-running
+// HTTP service. Instances are identified by a canonical fingerprint
+// (core.Fingerprint: an order-normalized hash of the processor and job
+// data, so permuting identical processors maps to the same key) and
 // evaluations are memoised in a sharded LRU cache (solver.Cache) with
 // singleflight deduplication: any number of concurrent identical requests
-// trigger exactly one solve, and repeats are replayed from memory. Endpoints
-// cover single solves, batch solves (fanned out through ParallelEach under a
-// global concurrency limit shared with the single-solve path), solver
-// listing, a liveness probe and Prometheus-format metrics; every solve runs
-// under a per-request deadline and the process drains gracefully on
+// trigger exactly one solve, and repeats are replayed from memory.
+// Endpoints cover single solves, batch solves, solver listing, a liveness
+// probe and Prometheus-format metrics; every solve runs under a
+// per-request deadline and the process drains gracefully on
 // SIGINT/SIGTERM.
 //
 // Solves too heavy for any HTTP deadline run asynchronously through
-// internal/jobs: a bounded queue drained by a worker pool, job records that
-// move through pending -> running -> done/failed/cancelled, server-sent-event
-// streaming of every improving incumbent (reported by the kernels through the
-// internal/progress hook), and an optional on-disk store that serves
-// completed schedules across restarts without re-solving.
+// internal/jobs: a bounded queue drained by a worker pool whose solves go
+// through the same shared engine (same admission budget, same cache), job
+// records that move through pending -> running -> done/failed/cancelled,
+// server-sent-event streaming of every improving incumbent (reported by
+// the kernels through the internal/progress hook), and an optional on-disk
+// store that serves completed schedules across restarts without
+// re-solving.
 //
 // # End-to-end harness
 //

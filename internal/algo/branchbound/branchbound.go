@@ -59,6 +59,7 @@ func (st *state) key() string {
 type solver struct {
 	ctx       context.Context
 	inst      *core.Instance
+	suffix    suffixWork
 	best      int         // incumbent makespan
 	bestMoves [][]float64 // allocation rows of the incumbent
 	visited   map[string]int
@@ -107,6 +108,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, inst *core.Instance) (*
 	sv := &solver{
 		ctx:      ctx,
 		inst:     inst,
+		suffix:   newSuffixWork(inst),
 		best:     gbRes.Makespan(),
 		visited:  make(map[string]int),
 		maxNodes: s.MaxNodes,
@@ -123,7 +125,9 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, inst *core.Instance) (*
 	for i := 0; i < inst.NumProcessors(); i++ {
 		root.rem[i] = work(inst, i, 0)
 	}
-	if err := sv.search(root, 0, nil); err != nil {
+	err = sv.search(root, 0, nil)
+	progress.AddNodes(ctx, int64(sv.nodes))
+	if err != nil {
 		return nil, err
 	}
 
@@ -157,11 +161,29 @@ func work(inst *core.Instance, p, done int) float64 {
 	return inst.Job(p, done).Work()
 }
 
+// suffixWork caches, per processor, the total work of every job suffix:
+// suffixWork[i][k] = Σ_{j ≥ k} work(i, j). It is computed once per solve so
+// the bound below runs in O(m) per search node instead of re-walking every
+// remaining job; it is shared by the serial and the parallel solver.
+type suffixWork [][]float64
+
+func newSuffixWork(inst *core.Instance) suffixWork {
+	sw := make(suffixWork, inst.NumProcessors())
+	for i := range sw {
+		n := inst.NumJobs(i)
+		sw[i] = make([]float64, n+1)
+		for j := n - 1; j >= 0; j-- {
+			sw[i][j] = sw[i][j+1] + inst.Job(i, j).Work()
+		}
+	}
+	return sw
+}
+
 // lowerBound returns a lower bound on the number of additional steps needed
 // from the state: the maximum of the remaining chain length and the ceiling
-// of the remaining aggregate work. It is shared by the serial and the
-// parallel solver.
-func lowerBound(inst *core.Instance, st *state) int {
+// of the remaining aggregate work (read off the precomputed suffix table).
+// It is shared by the serial and the parallel solver.
+func lowerBound(inst *core.Instance, suffix suffixWork, st *state) int {
 	chain := 0
 	var workSum float64
 	for i := 0; i < inst.NumProcessors(); i++ {
@@ -170,10 +192,7 @@ func lowerBound(inst *core.Instance, st *state) int {
 			chain = remaining
 		}
 		if remaining > 0 {
-			workSum += st.rem[i]
-			for j := st.done[i] + 1; j < inst.NumJobs(i); j++ {
-				workSum += inst.Job(i, j).Work()
-			}
+			workSum += st.rem[i] + suffix[i][st.done[i]+1]
 		}
 	}
 	workBound := int(math.Ceil(workSum - numeric.Eps))
@@ -212,7 +231,7 @@ func (sv *solver) search(st *state, depth int, moves [][]float64) error {
 		}
 		return nil
 	}
-	if depth+lowerBound(sv.inst, st) >= sv.best {
+	if depth+lowerBound(sv.inst, sv.suffix, st) >= sv.best {
 		return nil // cannot improve on the incumbent
 	}
 	key := st.key()

@@ -53,6 +53,7 @@ type task struct {
 // shared is the state visible to every worker.
 type shared struct {
 	inst     *core.Instance
+	suffix   suffixWork
 	best     atomic.Int64 // incumbent makespan
 	nodes    atomic.Int64 // total explored nodes
 	maxNodes int64
@@ -103,6 +104,7 @@ func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Inst
 	}
 	sh := &shared{
 		inst:      inst,
+		suffix:    newSuffixWork(inst),
 		bestMoves: allocRows(gbSched),
 		maxNodes:  int64(s.MaxNodes),
 	}
@@ -120,16 +122,20 @@ func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Inst
 	}
 
 	// Seed the frontier breadth-first until there is enough fan-out to keep
-	// the pool busy. Small instances may be solved entirely during seeding.
+	// the pool busy. Small instances may be solved entirely during seeding;
+	// seeded expansions count as explored nodes so telemetry stays non-zero
+	// even then.
 	frontier := []task{{st: root, depth: 0}}
+	var seeded int64
 	for len(frontier) > 0 && len(frontier) < workers*4 {
 		t := frontier[0]
 		frontier = frontier[1:]
+		seeded++
 		if isFinished(inst, t.st) {
 			sh.offerSolution(ctx, t.depth, t.moves)
 			continue
 		}
-		if int64(t.depth+lowerBound(inst, t.st)) >= sh.best.Load() {
+		if int64(t.depth+lowerBound(inst, sh.suffix, t.st)) >= sh.best.Load() {
 			continue
 		}
 		for _, next := range expand(inst, t.st) {
@@ -138,6 +144,7 @@ func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Inst
 		}
 	}
 	if len(frontier) == 0 {
+		progress.AddNodes(ctx, seeded)
 		return sh.schedule(), nil
 	}
 
@@ -156,6 +163,7 @@ func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Inst
 		}()
 	}
 	wg.Wait()
+	progress.AddNodes(ctx, seeded+sh.nodes.Load())
 
 	if sh.failed.Load() {
 		sh.failMu.Lock()
@@ -266,7 +274,7 @@ func (sh *shared) dfs(ctx context.Context, st *state, depth int, moves [][]float
 		sh.offerSolution(ctx, depth, moves)
 		return nil
 	}
-	if int64(depth+lowerBound(sh.inst, st)) >= sh.best.Load() {
+	if int64(depth+lowerBound(sh.inst, sh.suffix, st)) >= sh.best.Load() {
 		return nil
 	}
 	key := st.key()

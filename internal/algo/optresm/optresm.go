@@ -22,6 +22,7 @@ import (
 
 	"crsharing/internal/core"
 	"crsharing/internal/numeric"
+	"crsharing/internal/progress"
 )
 
 // MaxProcessors bounds the supported processor count. Successor generation
@@ -154,6 +155,10 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, inst *core.Instance) (*
 		if len(next) == 0 {
 			return nil, fmt.Errorf("optresm: internal error: no successor configurations at round %d", t+1)
 		}
+		// Every deduplicated configuration of the round counts as an explored
+		// node for solve telemetry; the serial and parallel schedulers generate
+		// identical rounds, so the tally is deterministic across both.
+		progress.AddNodes(ctx, int64(len(next)))
 
 		// Check for a final configuration before pruning: any final
 		// configuration reached in this round is optimal.

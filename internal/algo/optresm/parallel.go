@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"crsharing/internal/core"
+	"crsharing/internal/progress"
 )
 
 // ParallelScheduler is the multi-core variant of the configuration
@@ -101,6 +102,9 @@ func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Inst
 		if len(next) == 0 {
 			return nil, fmt.Errorf("optresm: internal error: no successor configurations at round %d", t+1)
 		}
+		// Same node accounting as the serial scheduler: the merged rounds are
+		// identical by construction, so the tallies agree.
+		progress.AddNodes(ctx, int64(len(next)))
 
 		for _, nc := range next {
 			if isFinal(inst, nc) {

@@ -23,8 +23,36 @@ func (b Bounds) Best() int {
 	return b.Chain
 }
 
-// LowerBounds computes the makespan lower bounds for an instance.
-func LowerBounds(inst *Instance) Bounds {
+// Kind names the bound Best returns: "work" when the aggregate-work bound
+// strictly dominates, "chain" otherwise (ties go to the chain bound, like
+// Best does). Solve telemetry reports it so load runs can see which bound
+// carried the pruning.
+func (b Bounds) Kind() string {
+	if b.Work > b.Chain {
+		return "work"
+	}
+	return "chain"
+}
+
+// LowerBounds returns the makespan lower bounds for an instance. The result
+// is memoised on the instance: bound seeding, ApproxRatio and telemetry all
+// ask for the bounds of the same instance, and the O(total jobs) sweep runs
+// only once. Instances are immutable after construction (see Instance), so
+// the memo can never go stale.
+func LowerBounds(inst *Instance) Bounds { return inst.Bounds() }
+
+// Bounds returns the instance's memoised makespan lower bounds.
+func (in *Instance) Bounds() Bounds {
+	if b := in.bounds.Load(); b != nil {
+		return *b
+	}
+	b := computeLowerBounds(in)
+	in.bounds.Store(&b)
+	return b
+}
+
+// computeLowerBounds performs the actual sweep; LowerBounds memoises it.
+func computeLowerBounds(inst *Instance) Bounds {
 	work := inst.TotalWork()
 	workBound := int(math.Ceil(work - 1e-9))
 	chain := 0

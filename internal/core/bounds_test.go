@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func boundsTestInstance() *Instance {
+	return NewInstance(
+		[]float64{0.9, 0.3, 0.5, 0.7},
+		[]float64{0.2, 0.2, 0.2},
+		[]float64{0.6, 0.6},
+	)
+}
+
+func TestLowerBoundsMemoisedMatchesFresh(t *testing.T) {
+	inst := boundsTestInstance()
+	fresh := computeLowerBounds(inst)
+	if got := LowerBounds(inst); got != fresh {
+		t.Fatalf("memoised LowerBounds %+v != fresh %+v", got, fresh)
+	}
+	// Repeat calls return the identical value.
+	if got := inst.Bounds(); got != fresh {
+		t.Fatalf("second Bounds call %+v != %+v", got, fresh)
+	}
+	if got := ApproxRatio(inst, fresh.Best()); got != 1 {
+		t.Fatalf("ApproxRatio at the bound = %v, want 1", got)
+	}
+}
+
+func TestBoundsMemoConcurrentFirstCall(t *testing.T) {
+	inst := boundsTestInstance()
+	want := computeLowerBounds(inst)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := inst.Bounds(); got != want {
+				t.Errorf("concurrent Bounds = %+v, want %+v", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBoundsMemoResetOnUnmarshalAndClone(t *testing.T) {
+	inst := boundsTestInstance()
+	stale := inst.Bounds() // warm the memo
+
+	// Decoding different jobs into the same value must drop the stale memo.
+	raw, err := json.Marshal(NewInstance([]float64{0.1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, inst); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Bounds(); got == stale {
+		t.Fatalf("memo survived UnmarshalJSON: %+v", got)
+	}
+	if got, want := inst.Bounds(), computeLowerBounds(inst); got != want {
+		t.Fatalf("post-decode bounds %+v, want %+v", got, want)
+	}
+
+	// A clone computes its own memo.
+	big := boundsTestInstance()
+	_ = big.Bounds()
+	clone := big.Clone()
+	if got := clone.Bounds(); got != big.Bounds() {
+		t.Fatalf("clone bounds %+v != original %+v", got, big.Bounds())
+	}
+}
+
+func TestBoundsKind(t *testing.T) {
+	cases := []struct {
+		b    Bounds
+		want string
+	}{
+		{Bounds{Work: 5, Chain: 3}, "work"},
+		{Bounds{Work: 3, Chain: 5}, "chain"},
+		{Bounds{Work: 4, Chain: 4}, "chain"}, // ties go to chain, like Best
+	}
+	for _, c := range cases {
+		if got := c.b.Kind(); got != c.want {
+			t.Errorf("Kind(%+v) = %q, want %q", c.b, got, c.want)
+		}
+		best := c.b.Best()
+		switch c.b.Kind() {
+		case "work":
+			if best != c.b.Work {
+				t.Errorf("Kind says work but Best = %d", best)
+			}
+		case "chain":
+			if best != c.b.Chain {
+				t.Errorf("Kind says chain but Best = %d", best)
+			}
+		}
+	}
+}
+
+// benchInstance is a larger instance so the bound sweep has real work to do.
+func benchInstance() *Instance {
+	procs := make([][]float64, 8)
+	for i := range procs {
+		reqs := make([]float64, 64)
+		for j := range reqs {
+			reqs[j] = float64((i*64+j)%97+1) / 100
+		}
+		procs[i] = reqs
+	}
+	return NewInstance(procs...)
+}
+
+// BenchmarkLowerBoundsFresh measures the un-memoised sweep: every iteration
+// recomputes the bounds, the behaviour every caller paid before the
+// per-instance memo existed.
+func BenchmarkLowerBoundsFresh(b *testing.B) {
+	inst := benchInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if computeLowerBounds(inst).Best() == 0 {
+			b.Fatal("zero bound")
+		}
+	}
+}
+
+// BenchmarkLowerBoundsMemoised measures the memoised path: the sweep runs
+// once, every further call is an atomic load. Compare against Fresh for the
+// caching delta.
+func BenchmarkLowerBoundsMemoised(b *testing.B) {
+	inst := benchInstance()
+	_ = inst.Bounds()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if LowerBounds(inst).Best() == 0 {
+			b.Fatal("zero bound")
+		}
+	}
+}
+
+// BenchmarkApproxRatio exercises the ratio helper, which inherits the memo.
+func BenchmarkApproxRatio(b *testing.B) {
+	inst := benchInstance()
+	mk := inst.Bounds().Best() + 3
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ApproxRatio(inst, mk) <= 1 {
+			b.Fatal("ratio should exceed 1")
+		}
+	}
+}

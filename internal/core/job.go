@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"crsharing/internal/numeric"
 )
@@ -80,10 +81,18 @@ type JobID struct {
 func (id JobID) String() string { return fmt.Sprintf("(%d,%d)", id.Proc+1, id.Pos+1) }
 
 // Instance is a CRSharing problem instance: one job sequence per processor.
-// The zero value is an empty instance with no processors.
+// The zero value is an empty instance with no processors. Instances are
+// treated as immutable once built: the solvers, the memo cache and the
+// per-instance bound memo below all rely on Procs not changing afterwards.
 type Instance struct {
 	// Procs[i] is the ordered job sequence of processor i.
 	Procs [][]Job `json:"procs"`
+
+	// bounds memoises LowerBounds: branch-and-bound seeding, ApproxRatio and
+	// solve telemetry all ask for the same bounds of the same instance, so
+	// the O(total jobs) sweep runs once. The atomic pointer keeps concurrent
+	// first calls safe (they may both compute, the stores are idempotent).
+	bounds atomic.Pointer[Bounds]
 }
 
 // NewInstance builds an instance from per-processor requirement sequences of
@@ -252,9 +261,14 @@ func (in *Instance) MarshalJSON() ([]byte, error) {
 // UnmarshalJSON implements json.Unmarshaler and validates the decoded
 // instance.
 func (in *Instance) UnmarshalJSON(data []byte) error {
-	type alias Instance
-	if err := json.Unmarshal(data, (*alias)(in)); err != nil {
+	type wire struct {
+		Procs [][]Job `json:"procs"`
+	}
+	var w wire
+	if err := json.Unmarshal(data, &w); err != nil {
 		return err
 	}
+	in.Procs = w.Procs
+	in.bounds.Store(nil) // decoding replaces the jobs; drop any stale memo
 	return in.Validate()
 }

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"crsharing/internal/core"
+	"crsharing/internal/solver"
+)
+
+func benchEngine(b *testing.B, cache *solver.Cache) *Engine {
+	b.Helper()
+	eng, err := New(Config{
+		Registry:      solver.Default(),
+		Cache:         cache,
+		DefaultSolver: "greedy-balance",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func benchEngineInstance() *core.Instance {
+	return core.NewInstance(
+		[]float64{0.9, 0.3, 0.5, 0.7, 0.2, 0.8},
+		[]float64{0.2, 0.2, 0.2, 0.6},
+		[]float64{0.6, 0.6, 0.4},
+	)
+}
+
+// BenchmarkEngineSolveFresh measures the full pipeline without a cache:
+// admission, solve, execution, telemetry assembly.
+func BenchmarkEngineSolveFresh(b *testing.B) {
+	eng := benchEngine(b, nil)
+	inst := benchEngineInstance()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Solve(ctx, Request{Instance: inst}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSolveCacheHit measures the pipeline's replay path: the
+// request is answered from the memo cache, so the cost is fingerprinting
+// plus telemetry assembly.
+func BenchmarkEngineSolveCacheHit(b *testing.B) {
+	eng := benchEngine(b, solver.NewCache(4, 64))
+	inst := benchEngineInstance()
+	ctx := context.Background()
+	if _, err := eng.Solve(ctx, Request{Instance: inst}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Solve(ctx, Request{Instance: inst})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Source == solver.SourceSolve {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkEngineSolveCacheHitPrehashed is the cache-hit path when the
+// caller supplies the fingerprint (as the job manager does).
+func BenchmarkEngineSolveCacheHitPrehashed(b *testing.B) {
+	eng := benchEngine(b, solver.NewCache(4, 64))
+	inst := benchEngineInstance()
+	fp := inst.Fingerprint()
+	ctx := context.Background()
+	if _, err := eng.Solve(ctx, Request{Instance: inst}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Solve(ctx, Request{Instance: inst, Fingerprint: &fp}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSemaphore measures one uncontended acquire/release pair.
+func BenchmarkSemaphore(b *testing.B) {
+	sem := newSemaphore(16)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := sem.Acquire(ctx, 1); err != nil {
+			b.Fatal(err)
+		}
+		sem.Release(1)
+	}
+}
+
+// BenchmarkSolveEach measures the batch fan-out over a cached corpus.
+func BenchmarkSolveEach(b *testing.B) {
+	eng := benchEngine(b, solver.NewCache(4, 256))
+	insts := make([]*core.Instance, 16)
+	for i := range insts {
+		insts[i] = core.NewInstance([]float64{float64(i+1) / 20, 0.5}, []float64{0.25})
+	}
+	ctx := context.Background()
+	eng.SolveEach(ctx, "", insts, 8) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outcomes := eng.SolveEach(ctx, "", insts, 8)
+		for _, out := range outcomes {
+			if out.Err != nil {
+				b.Fatal(out.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,552 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crsharing/internal/algo/greedybalance"
+	"crsharing/internal/core"
+	"crsharing/internal/progress"
+	"crsharing/internal/solver"
+)
+
+// countingSolver tracks its concurrency high-water mark and optionally
+// blocks until released or cancelled. Successful solves delegate to
+// greedy-balance so the schedule is valid.
+type countingSolver struct {
+	name  string
+	calls atomic.Int64
+	cur   atomic.Int64
+	max   atomic.Int64
+	block chan struct{} // when non-nil, Solve waits for close or ctx
+}
+
+func (s *countingSolver) Name() string { return s.name }
+
+func (s *countingSolver) Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, solver.Stats, error) {
+	s.calls.Add(1)
+	cur := s.cur.Add(1)
+	defer s.cur.Add(-1)
+	for {
+		max := s.max.Load()
+		if cur <= max || s.max.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	if s.block != nil {
+		select {
+		case <-s.block:
+		case <-ctx.Done():
+			return nil, solver.Stats{Solver: s.name}, ctx.Err()
+		}
+	}
+	sched, err := greedybalance.New().Schedule(inst)
+	return sched, solver.Stats{Solver: s.name, Elapsed: time.Microsecond, Nodes: 7}, err
+}
+
+func newTestEngine(t *testing.T, stub solver.Solver, mutate func(*Config)) *Engine {
+	t.Helper()
+	reg := solver.NewRegistry()
+	reg.Register("stub", func() solver.Solver { return stub })
+	cfg := Config{
+		Registry:      reg,
+		Cache:         solver.NewCache(4, 64),
+		DefaultSolver: "stub",
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// distinctInstances returns n instances with pairwise distinct fingerprints.
+func distinctInstances(n int) []*core.Instance {
+	insts := make([]*core.Instance, n)
+	for i := range insts {
+		insts[i] = core.NewInstance([]float64{float64(i+1) / float64(n+1), 0.5}, []float64{0.25})
+	}
+	return insts
+}
+
+func TestSolveSources(t *testing.T) {
+	stub := &countingSolver{name: "stub"}
+	eng := newTestEngine(t, stub, nil)
+	inst := core.NewInstance([]float64{0.3, 0.7}, []float64{0.5})
+
+	first, err := eng.Solve(context.Background(), Request{Instance: inst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != solver.SourceSolve {
+		t.Fatalf("first solve source %q", first.Source)
+	}
+	if first.Telemetry.Source != string(solver.SourceSolve) || first.Telemetry.Nodes != 7 {
+		t.Fatalf("fresh telemetry malformed: %+v", first.Telemetry)
+	}
+	if first.Fingerprint != inst.Fingerprint() {
+		t.Fatal("result fingerprint does not match the instance")
+	}
+	if first.Telemetry.Makespan != first.Evaluation.Makespan || first.Telemetry.Steps <= 0 {
+		t.Fatalf("telemetry/evaluation mismatch: %+v", first.Telemetry)
+	}
+
+	second, err := eng.Solve(context.Background(), Request{Instance: inst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Source != solver.SourceCache {
+		t.Fatalf("repeat source %q, want cache", second.Source)
+	}
+	if second.Telemetry.Source != string(solver.SourceCache) || second.Telemetry.Nodes != 7 {
+		t.Fatalf("cached telemetry malformed: %+v", second.Telemetry)
+	}
+	if got := stub.calls.Load(); got != 1 {
+		t.Fatalf("solver invoked %d times for identical requests, want 1", got)
+	}
+
+	snap := eng.Snapshot()
+	if snap.SourceSolve != 1 || snap.SourceCache != 1 || snap.NodesTotal != 7 {
+		t.Fatalf("snapshot accounting wrong: %+v", snap)
+	}
+	if snap.SolveSeconds.Count != 1 || snap.SolveNodes.Count != 1 {
+		t.Fatalf("histograms missed the fresh solve: %+v", snap)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	eng := newTestEngine(t, &countingSolver{name: "stub"}, nil)
+	if _, err := eng.Solve(context.Background(), Request{}); err == nil {
+		t.Error("missing instance accepted")
+	}
+	bad := core.NewInstance([]float64{1.5})
+	if _, err := eng.Solve(context.Background(), Request{Instance: bad}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	good := core.NewInstance([]float64{0.5})
+	if _, err := eng.Solve(context.Background(), Request{Instance: good, Solver: "no-such"}); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+func TestSolveDeadlineClamping(t *testing.T) {
+	stub := &countingSolver{name: "stub", block: make(chan struct{})} // never released
+	eng := newTestEngine(t, stub, func(cfg *Config) {
+		cfg.DefaultTimeout = 50 * time.Millisecond
+		cfg.MaxTimeout = 100 * time.Millisecond
+	})
+	inst := core.NewInstance([]float64{0.5})
+
+	// No requested budget: the default applies.
+	start := time.Now()
+	_, err := eng.Solve(context.Background(), Request{Instance: inst})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("default deadline not applied")
+	}
+
+	// A budget above the ceiling is clamped to it.
+	start = time.Now()
+	_, err = eng.Solve(context.Background(), Request{Instance: inst, Timeout: time.Hour})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("MaxTimeout clamp not applied: waited %s", elapsed)
+	}
+
+	// Per-request limits override the engine's: the job surface passes its
+	// own, larger ceilings.
+	start = time.Now()
+	_, err = eng.Solve(context.Background(), Request{
+		Instance: inst,
+		Timeout:  250 * time.Millisecond,
+		Limits:   &Limits{Default: time.Second, Max: time.Second},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("request limits ignored: expired after %s under a 250ms budget", elapsed)
+	}
+}
+
+func TestLimitsResolve(t *testing.T) {
+	l := Limits{Default: 30 * time.Second, Max: 2 * time.Minute}
+	cases := []struct {
+		in, want time.Duration
+	}{
+		{0, 30 * time.Second},
+		{time.Second, time.Second},
+		{time.Hour, 2 * time.Minute},
+	}
+	for _, c := range cases {
+		if got := l.Resolve(c.in); got != c.want {
+			t.Errorf("Resolve(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestObserverAttachment(t *testing.T) {
+	// A solver that reports incumbents through the context.
+	reporting := solverFunc(func(ctx context.Context, inst *core.Instance) (*core.Schedule, solver.Stats, error) {
+		progress.Report(ctx, progress.Incumbent{Solver: "reporting", Makespan: 5})
+		progress.Report(ctx, progress.Incumbent{Solver: "reporting", Makespan: 3})
+		sched, err := greedybalance.New().Schedule(inst)
+		return sched, solver.Stats{Solver: "reporting"}, err
+	})
+	reg := solver.NewRegistry()
+	reg.Register("reporting", func() solver.Solver { return reporting })
+	eng, err := New(Config{Registry: reg, DefaultSolver: "reporting"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []int
+	var mu sync.Mutex
+	_, err = eng.Solve(context.Background(), Request{
+		Instance: core.NewInstance([]float64{0.5}),
+		Observer: func(inc progress.Incumbent) {
+			mu.Lock()
+			seen = append(seen, inc.Makespan)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != 5 || seen[1] != 3 {
+		t.Fatalf("observer saw %v, want [5 3]", seen)
+	}
+}
+
+type solverFunc func(ctx context.Context, inst *core.Instance) (*core.Schedule, solver.Stats, error)
+
+func (f solverFunc) Name() string { return "reporting" }
+func (f solverFunc) Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, solver.Stats, error) {
+	return f(ctx, inst)
+}
+
+// TestAdmissionSharedAcrossSolveAndBatch is the admission-gap regression at
+// the engine level: a saturating SolveEach batch and concurrent single
+// solves all draw from the same semaphore, so the solver's concurrency
+// high-water mark can never exceed MaxConcurrent.
+func TestAdmissionSharedAcrossSolveAndBatch(t *testing.T) {
+	const cap = 2
+	stub := &countingSolver{name: "stub", block: make(chan struct{})}
+	eng := newTestEngine(t, stub, func(cfg *Config) { cfg.MaxConcurrent = cap })
+
+	batch := distinctInstances(6)
+	singles := distinctInstances(9)[6:] // distinct from the batch
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		outcomes := eng.SolveEach(context.Background(), "", batch, len(batch))
+		for _, out := range outcomes {
+			if out.Err != nil {
+				t.Errorf("batch outcome %d: %v", out.Index, out.Err)
+			}
+		}
+	}()
+	for _, inst := range singles {
+		wg.Add(1)
+		go func(inst *core.Instance) {
+			defer wg.Done()
+			if _, err := eng.Solve(context.Background(), Request{Instance: inst, Timeout: NoDeadline}); err != nil {
+				t.Errorf("single solve: %v", err)
+			}
+		}(inst)
+	}
+
+	// Wait until the cap is reached, then hold a beat to catch overshoot.
+	deadline := time.Now().Add(5 * time.Second)
+	for stub.cur.Load() < cap && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stub.block)
+	wg.Wait()
+
+	if got := stub.max.Load(); got != cap {
+		t.Fatalf("solver concurrency high-water mark %d, want exactly the configured cap %d", got, cap)
+	}
+	if got := stub.calls.Load(); got != int64(len(batch)+len(singles)) {
+		t.Fatalf("%d solves ran, want %d", got, len(batch)+len(singles))
+	}
+}
+
+// TestAdmissionQueuedSolveNotStarved checks FIFO admission: a synchronous
+// solve queued behind a saturating batch runs as soon as a slot frees
+// instead of being starved by later batch shards.
+func TestAdmissionQueuedSolveNotStarved(t *testing.T) {
+	stub := &countingSolver{name: "stub", block: make(chan struct{})}
+	eng := newTestEngine(t, stub, func(cfg *Config) { cfg.MaxConcurrent = 1 })
+
+	// Saturate: one blocking solve holds the only slot.
+	first := make(chan error, 1)
+	insts := distinctInstances(2)
+	go func() {
+		_, err := eng.Solve(context.Background(), Request{Instance: insts[0], Timeout: NoDeadline})
+		first <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for stub.cur.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queued sync solve waits...
+	second := make(chan error, 1)
+	go func() {
+		_, err := eng.Solve(context.Background(), Request{Instance: insts[1], Timeout: NoDeadline})
+		second <- err
+	}()
+	select {
+	case err := <-second:
+		t.Fatalf("queued solve finished while the slot was held (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// ...and runs once the slot frees.
+	close(stub.block)
+	for _, ch := range []chan error{first, second} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("solve did not finish after the slot freed")
+		}
+	}
+	if got := stub.max.Load(); got != 1 {
+		t.Fatalf("concurrency high-water mark %d, want 1", got)
+	}
+}
+
+// TestAdmissionRespectsDeadlineWhileQueued: a queued request whose budget
+// expires leaves the admission queue with a deadline error instead of
+// waiting forever.
+func TestAdmissionRespectsDeadlineWhileQueued(t *testing.T) {
+	stub := &countingSolver{name: "stub", block: make(chan struct{})}
+	defer close(stub.block)
+	eng := newTestEngine(t, stub, func(cfg *Config) { cfg.MaxConcurrent = 1 })
+	insts := distinctInstances(2)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Solve(context.Background(), Request{Instance: insts[0], Timeout: NoDeadline})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for stub.cur.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := eng.Solve(context.Background(), Request{Instance: insts[1], Timeout: 50 * time.Millisecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued solve err = %v, want deadline exceeded", err)
+	}
+	if eng.Snapshot().Waiting != 0 {
+		t.Fatal("expired request still queued for admission")
+	}
+}
+
+func TestSolveEachSkipsAfterCancellation(t *testing.T) {
+	stub := &countingSolver{name: "stub", block: make(chan struct{})} // never released
+	defer close(stub.block)
+	eng := newTestEngine(t, stub, func(cfg *Config) { cfg.MaxConcurrent = 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	outcomes := eng.SolveEach(ctx, "", distinctInstances(4), 2)
+	solved, failed, skipped := 0, 0, 0
+	for _, out := range outcomes {
+		switch {
+		case out.Skipped:
+			skipped++
+			if out.Err == nil {
+				t.Fatalf("skipped outcome without error: %+v", out)
+			}
+		case out.Err != nil:
+			failed++
+		default:
+			solved++
+		}
+	}
+	if solved != 0 {
+		t.Fatalf("blocked solver cannot have solved anything: %d solved", solved)
+	}
+	if skipped == 0 {
+		t.Fatal("expected some never-attempted instances marked skipped")
+	}
+	if solved+failed+skipped != 4 {
+		t.Fatalf("accounting broken: %d/%d/%d", solved, failed, skipped)
+	}
+}
+
+func TestSemaphoreWeights(t *testing.T) {
+	sem := newSemaphore(4)
+	ctx := context.Background()
+	if err := sem.Acquire(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := sem.InUse(); got != 3 {
+		t.Fatalf("InUse = %d, want 3", got)
+	}
+	// Weight above capacity is clamped so it can still run alone.
+	done := make(chan error, 1)
+	go func() { done <- sem.Acquire(ctx, 99) }()
+	select {
+	case <-done:
+		t.Fatal("oversized acquire admitted while 3 units were held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	sem.Release(3)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("clamped acquire never admitted")
+	}
+	sem.Release(99) // symmetric clamp
+	if got := sem.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after full release, want 0", got)
+	}
+}
+
+func TestSemaphoreCancelledWaiterUnblocksQueue(t *testing.T) {
+	sem := newSemaphore(2)
+	ctx := context.Background()
+	if err := sem.Acquire(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	// A heavy waiter queues first, then a light one behind it.
+	heavyCtx, heavyCancel := context.WithCancel(ctx)
+	heavyErr := make(chan error, 1)
+	go func() { heavyErr <- sem.Acquire(heavyCtx, 2) }()
+	for sem.Waiting() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	lightErr := make(chan error, 1)
+	go func() { lightErr <- sem.Acquire(ctx, 1) }()
+	for sem.Waiting() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Free one unit: FIFO keeps the heavy waiter first, so nobody runs yet.
+	sem.Release(1)
+	select {
+	case <-lightErr:
+		t.Fatal("light waiter overtook the heavy one")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Cancelling the heavy waiter must re-sweep the queue and admit the
+	// light one with the already-free unit.
+	heavyCancel()
+	if err := <-heavyErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("heavy waiter err = %v", err)
+	}
+	select {
+	case err := <-lightErr:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("light waiter not admitted after the heavy one left")
+	}
+}
+
+func TestDefaultsAndAccessors(t *testing.T) {
+	reg := solver.Default()
+	eng, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.DefaultSolver() != "portfolio" || eng.MaxConcurrent() != 16 {
+		t.Fatalf("defaults not applied: %q %d", eng.DefaultSolver(), eng.MaxConcurrent())
+	}
+	if l := eng.Limits(); l.Default != 30*time.Second || l.Max != 2*time.Minute {
+		t.Fatalf("default limits %+v", l)
+	}
+	if eng.Registry() != reg || eng.Cache() != nil {
+		t.Fatal("accessors broken")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+	if _, err := New(Config{Registry: reg, DefaultSolver: "no-such"}); err == nil {
+		t.Fatal("unknown default solver accepted")
+	}
+	name, err := eng.ResolveSolver("")
+	if err != nil || name != "portfolio" {
+		t.Fatalf("ResolveSolver empty = %q, %v", name, err)
+	}
+	if _, err := eng.ResolveSolver("no-such"); err == nil {
+		t.Fatal("unknown solver resolved")
+	}
+}
+
+func TestSolveWithoutCache(t *testing.T) {
+	stub := &countingSolver{name: "stub"}
+	eng := newTestEngine(t, stub, func(cfg *Config) { cfg.Cache = nil })
+	inst := core.NewInstance([]float64{0.5})
+	for i := 0; i < 2; i++ {
+		res, err := eng.Solve(context.Background(), Request{Instance: inst})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Source != solver.SourceSolve {
+			t.Fatalf("uncached solve %d source %q", i, res.Source)
+		}
+	}
+	if got := stub.calls.Load(); got != 2 {
+		t.Fatalf("uncached engine memoised: %d calls", got)
+	}
+	if snap := eng.Snapshot(); snap.SourceSolve != 2 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	want := []uint64{1, 3, 4}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, snap.Counts[i], w, snap)
+		}
+	}
+	if snap.Count != 5 || snap.Sum != 560.5 {
+		t.Fatalf("sum/count wrong: %+v", snap)
+	}
+}
+
+func TestTelemetryJSONShape(t *testing.T) {
+	// The telemetry must serialise with stable snake_case keys — it is part
+	// of the public API surface (solve responses, job records, crload).
+	eng := newTestEngine(t, &countingSolver{name: "stub"}, nil)
+	res, err := eng.Solve(context.Background(), Request{Instance: core.NewInstance([]float64{0.5})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := fmt.Sprintf("%+v", res.Telemetry)
+	if res.Telemetry.Solver != "stub" || res.Telemetry.LowerBoundKind == "" {
+		t.Fatalf("telemetry incomplete: %s", raw)
+	}
+}

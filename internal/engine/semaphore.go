@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// semaphore is a context-aware weighted admission semaphore: the single
+// concurrency budget every solve of the process — synchronous, batch shard or
+// job worker — must acquire before running. Waiters are served in FIFO order
+// so a saturating batch cannot indefinitely starve a queued synchronous
+// solve, and an acquire whose context expires leaves the queue immediately.
+type semaphore struct {
+	capacity int64
+
+	mu      sync.Mutex
+	held    int64
+	waiters list.List // of *waiter, front = longest waiting
+}
+
+type waiter struct {
+	weight int64
+	ready  chan struct{} // closed when the waiter is granted its weight
+}
+
+func newSemaphore(capacity int64) *semaphore {
+	return &semaphore{capacity: capacity}
+}
+
+// Acquire blocks until weight units are held or ctx is done. Weights above
+// the capacity are clamped to it so a single heavy request can still run
+// (alone) instead of deadlocking forever.
+func (s *semaphore) Acquire(ctx context.Context, weight int64) error {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > s.capacity {
+		weight = s.capacity
+	}
+	s.mu.Lock()
+	if s.held+weight <= s.capacity && s.waiters.Len() == 0 {
+		s.held += weight
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	elem := s.waiters.PushBack(w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with the cancellation: keep the slot and
+			// report success; the caller releases it normally.
+			s.mu.Unlock()
+			return nil
+		default:
+		}
+		s.waiters.Remove(elem)
+		// Removing a waiter can unblock the ones behind it (a lighter waiter
+		// may now fit), so re-run the grant sweep.
+		s.grantLocked()
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns weight units to the semaphore and wakes eligible waiters.
+// The weight must match the corresponding Acquire (after its clamping).
+func (s *semaphore) Release(weight int64) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > s.capacity {
+		weight = s.capacity
+	}
+	s.mu.Lock()
+	s.held -= weight
+	if s.held < 0 {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("engine: semaphore released below zero (weight %d)", weight))
+	}
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// grantLocked admits waiters from the front of the queue while they fit.
+// Strict FIFO: the sweep stops at the first waiter that does not fit, so a
+// heavy waiter is never overtaken forever by a stream of light ones.
+func (s *semaphore) grantLocked() {
+	for {
+		front := s.waiters.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(*waiter)
+		if s.held+w.weight > s.capacity {
+			return
+		}
+		s.held += w.weight
+		s.waiters.Remove(front)
+		close(w.ready)
+	}
+}
+
+// InUse returns the currently held weight (for gauges).
+func (s *semaphore) InUse() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.held
+}
+
+// Waiting returns the number of queued acquirers (for gauges).
+func (s *semaphore) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waiters.Len()
+}

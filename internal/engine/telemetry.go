@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"crsharing/internal/core"
+	"crsharing/internal/solver"
+)
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
+
+// Telemetry is the structured account of one solve request, assembled by the
+// engine for every request regardless of which surface (HTTP sync, batch,
+// job worker, CLI) submitted it. It extends solver.Stats with the quantities
+// the serving and load layers report: where the answer came from, how much
+// search effort it took, which lower bound anchored the quality ratio, and
+// what the schedule looks like. It serialises directly into API responses,
+// job records and the crload report.
+type Telemetry struct {
+	// Solver is the registry name the request resolved to (e.g. "portfolio").
+	Solver string `json:"solver"`
+	// Algorithm is the algorithm that produced the schedule; for a portfolio
+	// the winning member.
+	Algorithm string `json:"algorithm"`
+	// Source reports how the result was obtained: "solve", "cache" or
+	// "coalesced".
+	Source string `json:"source"`
+	// ElapsedMS is the wall-clock of the solve that produced the result. For
+	// cache and coalesced answers it replays the original solve's duration.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// QueueMS is the time THIS request spent waiting for an admission slot;
+	// zero for cache hits (they bypass admission entirely).
+	QueueMS float64 `json:"queue_ms"`
+	// Nodes counts the search nodes (branch-and-bound) or configurations
+	// (enumeration) explored by the solve, summed over nested kernels and
+	// portfolio members; zero for pure heuristics.
+	Nodes int64 `json:"nodes"`
+	// Incumbents counts the improving solutions reported while the solve ran.
+	Incumbents int64 `json:"incumbents"`
+	// Makespan is the schedule's makespan in steps.
+	Makespan int `json:"makespan"`
+	// LowerBound is the best instance lower bound (core.LowerBounds), and
+	// LowerBoundKind names which bound it is ("work" or "chain").
+	LowerBound     int    `json:"lower_bound"`
+	LowerBoundKind string `json:"lower_bound_kind"`
+	// Ratio is Makespan / LowerBound (1 when the bound is zero).
+	Ratio float64 `json:"ratio"`
+	// Steps is the number of steps in the returned schedule (= Makespan for
+	// trimmed schedules; kept separate so padding bugs are visible).
+	Steps int `json:"steps"`
+	// Wasted is the schedule's total wasted resource.
+	Wasted float64 `json:"wasted"`
+	// Properties lists the Section-4 structural properties of the schedule.
+	Properties string `json:"properties"`
+}
+
+// newTelemetry assembles the telemetry of one finished solve.
+func newTelemetry(solverName string, ev *solver.Evaluation, src solver.Source, inst *core.Instance, queued time.Duration) Telemetry {
+	bounds := inst.Bounds()
+	t := Telemetry{
+		Solver:         solverName,
+		Algorithm:      ev.Algorithm,
+		Source:         string(src),
+		ElapsedMS:      float64(ev.Stats.Elapsed) / float64(time.Millisecond),
+		QueueMS:        float64(queued) / float64(time.Millisecond),
+		Nodes:          ev.Stats.Nodes,
+		Incumbents:     ev.Stats.Incumbents,
+		Makespan:       ev.Makespan,
+		LowerBound:     ev.LowerBound,
+		LowerBoundKind: bounds.Kind(),
+		Ratio:          ev.Ratio,
+		Wasted:         ev.Wasted,
+		Properties:     ev.Properties.String(),
+	}
+	if ev.Schedule != nil {
+		t.Steps = ev.Schedule.Steps()
+	}
+	return t
+}
+
+// Histogram is a snapshot of a fixed-bucket histogram: Counts[i] observations
+// fell at or below Bounds[i]; Counts[len(Bounds)] is the overflow bucket.
+// Counts are cumulative like Prometheus "le" buckets.
+type Histogram struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// histogram is the live, concurrency-safe accumulator behind Histogram.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // per-bucket (non-cumulative), last = overflow
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *histogram) Observe(v float64) {
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Snapshot returns the cumulative view.
+func (h *histogram) Snapshot() Histogram {
+	out := Histogram{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out.Counts[i] = cum
+	}
+	return out
+}
+
+// atomicFloat is an atomic float64 accumulator (CAS on the bit pattern).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		neu := floatBits(floatFrom(old) + v)
+		if f.bits.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return floatFrom(f.bits.Load()) }
+
+// metrics aggregates the engine's solve accounting; Snapshot freezes it for
+// the /metrics endpoint and tests.
+type metrics struct {
+	sourceSolve     atomic.Uint64
+	sourceCache     atomic.Uint64
+	sourceCoalesced atomic.Uint64
+	errorsTotal     atomic.Uint64
+	nodesTotal      atomic.Int64
+	incumbentsTotal atomic.Int64
+	queueSeconds    atomicFloat
+	solveSeconds    *histogram
+	solveNodes      *histogram
+}
+
+// Snapshot is a point-in-time copy of the engine's aggregate telemetry.
+type Snapshot struct {
+	// SourceSolve / SourceCache / SourceCoalesced count completed solve
+	// requests by where their answer came from.
+	SourceSolve     uint64
+	SourceCache     uint64
+	SourceCoalesced uint64
+	// Errors counts failed solve requests (including deadline expiries).
+	Errors uint64
+	// NodesTotal / IncumbentsTotal sum the per-solve search telemetry of
+	// fresh solves (cache replays are not double-counted).
+	NodesTotal      int64
+	IncumbentsTotal int64
+	// QueueSeconds is the total time requests spent waiting for admission.
+	QueueSeconds float64
+	// Inflight is the admission weight currently held; Waiting the queued
+	// acquirers.
+	Inflight int64
+	Waiting  int
+	// SolveSeconds / SolveNodes are the per-fresh-solve duration and
+	// search-size distributions.
+	SolveSeconds Histogram
+	SolveNodes   Histogram
+}
+
+// solveSecondsBuckets spans sub-millisecond heuristic solves up to the 2m
+// default deadline ceiling.
+var solveSecondsBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10, 30, 120}
+
+// solveNodesBuckets spans trivial instances up to the default node limit.
+var solveNodesBuckets = []float64{1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+
+func newMetrics() *metrics {
+	return &metrics{
+		solveSeconds: newHistogram(solveSecondsBuckets),
+		solveNodes:   newHistogram(solveNodesBuckets),
+	}
+}
+
+// observe records one finished request. Only fresh solves contribute to the
+// node totals and histograms: cached answers replay stats that were already
+// counted when the original solve ran.
+func (m *metrics) observe(src solver.Source, ev *solver.Evaluation, err error, queued time.Duration) {
+	m.queueSeconds.Add(queued.Seconds())
+	if err != nil {
+		m.errorsTotal.Add(1)
+		return
+	}
+	switch src {
+	case solver.SourceCache:
+		m.sourceCache.Add(1)
+	case solver.SourceCoalesced:
+		m.sourceCoalesced.Add(1)
+	default:
+		m.sourceSolve.Add(1)
+		m.nodesTotal.Add(ev.Stats.Nodes)
+		m.incumbentsTotal.Add(ev.Stats.Incumbents)
+		m.solveSeconds.Observe(ev.Stats.Elapsed.Seconds())
+		m.solveNodes.Observe(float64(ev.Stats.Nodes))
+	}
+}
+
+// Snapshot returns the engine's aggregate solve telemetry.
+func (e *Engine) Snapshot() Snapshot {
+	return Snapshot{
+		SourceSolve:     e.met.sourceSolve.Load(),
+		SourceCache:     e.met.sourceCache.Load(),
+		SourceCoalesced: e.met.sourceCoalesced.Load(),
+		Errors:          e.met.errorsTotal.Load(),
+		NodesTotal:      e.met.nodesTotal.Load(),
+		IncumbentsTotal: e.met.incumbentsTotal.Load(),
+		QueueSeconds:    e.met.queueSeconds.Load(),
+		Inflight:        e.sem.InUse(),
+		Waiting:         e.sem.Waiting(),
+		SolveSeconds:    e.met.solveSeconds.Snapshot(),
+		SolveNodes:      e.met.solveNodes.Snapshot(),
+	}
+}

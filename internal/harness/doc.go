@@ -17,8 +17,15 @@
 //     mix of synchronous solves, batch solves and asynchronous jobs
 //     (submit + SSE follow) at a base URL — an in-process httptest server or
 //     a remote crserved — and collects per-class latency distributions via
-//     internal/stats, throughput, error/cancel counts and the cache-hit
-//     accounting scraped from /metrics.
+//     internal/stats, throughput, error/cancel counts, per-class
+//     engine-telemetry aggregates (nodes explored, incumbents, results per
+//     cache source — load runs double as solver-behaviour regressions) and
+//     the cache-hit accounting scraped from /metrics.
+//
+// Stack (stack.go) wires the full production layering — one shared
+// internal/engine pipeline feeding both the service handlers and the job
+// manager, exactly like cmd/crserved — behind an httptest listener, for
+// crload's in-process mode and the end-to-end tests.
 //
 //   - Oracle (oracle.go): every schedule a response carries is re-executed
 //     with core.Execute and revalidated against the paper's invariants

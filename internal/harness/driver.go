@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"crsharing/internal/engine"
 	"crsharing/internal/jobs"
 	"crsharing/internal/service"
 )
@@ -125,6 +126,36 @@ type Config struct {
 	MaxInflight int
 }
 
+// TelemetryAgg folds the per-solve engine telemetry of one request class, so
+// load runs double as solver-behaviour regressions: a change that blows up
+// the search (nodes), stops finding incumbents, or stops hitting the cache
+// shows up in the report delta even when latencies look fine.
+type TelemetryAgg struct {
+	// Nodes sums the search nodes / configurations of the class's solves
+	// (cache replays re-count the original solve's effort — the point is the
+	// per-class solver behaviour, not machine load).
+	Nodes int64 `json:"nodes"`
+	// Incumbents sums the incumbent improvements reported by the solves.
+	Incumbents int64 `json:"incumbents"`
+	// Sources counts results per cache source ("solve", "cache",
+	// "coalesced").
+	Sources map[string]int `json:"sources,omitempty"`
+}
+
+// add folds one solve's telemetry into the aggregate.
+func (a *TelemetryAgg) add(tel *engine.Telemetry, source string) {
+	if a.Sources == nil {
+		a.Sources = make(map[string]int)
+	}
+	if source != "" {
+		a.Sources[source]++
+	}
+	if tel != nil {
+		a.Nodes += tel.Nodes
+		a.Incumbents += tel.Incumbents
+	}
+}
+
 // ClassStats aggregates one request class of a finished run.
 type ClassStats struct {
 	// Requests counts completed requests of the class (including failures).
@@ -143,6 +174,9 @@ type ClassStats struct {
 	Incumbents int `json:"incumbents,omitempty"`
 	// ErrorSamples holds the first few error messages verbatim.
 	ErrorSamples []string `json:"error_samples,omitempty"`
+	// Telemetry folds the engine telemetry of the class's solves: nodes
+	// explored, incumbents, and results per cache source.
+	Telemetry TelemetryAgg `json:"telemetry"`
 	// Latency summarises the class's request latencies in milliseconds. For
 	// jobs it spans submit to terminal event.
 	Latency LatencySummary `json:"latency_ms"`
@@ -325,6 +359,13 @@ func (d *Driver) record(class string, elapsed time.Duration) {
 // maxErrorSamples bounds the per-class error strings kept verbatim.
 const maxErrorSamples = 5
 
+// countTelemetry folds one solve's telemetry into its class aggregate.
+func (d *Driver) countTelemetry(class string, tel *engine.Telemetry, source string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.classes[class].Telemetry.add(tel, source)
+}
+
 func (d *Driver) countError(class string, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -384,6 +425,7 @@ func (d *Driver) doSolve(ctx context.Context, item Item) {
 		d.classes[ClassSolve].CacheServed++
 		d.mu.Unlock()
 	}
+	d.countTelemetry(ClassSolve, resp.Telemetry, resp.Source)
 	label := fmt.Sprintf("solve %s/%s", item.Family, item.Inst.Fingerprint().Short())
 	if err := d.oracle.CheckSchedule(label, item.Inst, resp.Schedule, resp.Makespan, resp.Wasted); err != nil {
 		d.countError(ClassSolve, err)
@@ -419,6 +461,7 @@ func (d *Driver) doBatch(ctx context.Context, items []Item, at int) {
 			d.countError(ClassBatch, fmt.Errorf("batch response index %d outside [0,%d)", res.Index, len(batch)))
 		default:
 			it := batch[res.Index]
+			d.countTelemetry(ClassBatch, res.Telemetry, res.Source)
 			label := fmt.Sprintf("batch %s/%s", it.Family, it.Inst.Fingerprint().Short())
 			if err := d.oracle.CheckMakespan(label, it.Inst, res.Makespan); err != nil {
 				d.countError(ClassBatch, err)
@@ -451,6 +494,9 @@ func (d *Driver) doJob(ctx context.Context, item Item) {
 	}
 	switch final.State {
 	case jobs.StateDone:
+		if final.Result != nil {
+			d.countTelemetry(ClassJobs, final.Result.Telemetry, final.Result.Source)
+		}
 		label := fmt.Sprintf("job %s %s/%s", final.ID, item.Family, item.Inst.Fingerprint().Short())
 		if final.Result == nil {
 			err := d.oracle.CheckSchedule(label, item.Inst, nil, -1, -1)

@@ -6,52 +6,32 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
-
-	"crsharing/internal/jobs"
-	"crsharing/internal/service"
-	"crsharing/internal/solver"
 )
 
-// newHarnessServer wires the full stack — registry, shared cache, job
-// manager, HTTP layer — behind an httptest listener, defaulting to the fast
+// newHarnessServer wires the full stack — one shared engine, job manager,
+// HTTP layer — behind an httptest listener, defaulting to the fast
 // deterministic greedy-balance solver so driver tests stay quick under
 // -race.
-func newHarnessServer(t *testing.T) *httptest.Server {
+func newHarnessServer(t *testing.T) *Stack {
 	t.Helper()
-	cache := solver.NewCache(8, 1024)
-	manager, err := jobs.New(jobs.Config{
-		Registry:       solver.Default(),
-		Cache:          cache,
-		DefaultSolver:  "greedy-balance",
-		Workers:        2,
-		QueueDepth:     256,
-		DefaultTimeout: 10 * time.Second,
-		MaxTimeout:     30 * time.Second,
+	stack, err := NewStack(StackConfig{
+		DefaultSolver:     "greedy-balance",
+		MaxConcurrent:     32,
+		Workers:           2,
+		QueueDepth:        256,
+		JobDefaultTimeout: 10 * time.Second,
+		JobMaxTimeout:     30 * time.Second,
+		Version:           "harness-test",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := service.New(service.Config{
-		Registry:      solver.Default(),
-		Cache:         cache,
-		DefaultSolver: "greedy-balance",
-		MaxConcurrent: 32,
-		Jobs:          manager,
-		Version:       "harness-test",
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
-		ts.Close()
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := manager.Close(ctx); err != nil {
-			t.Errorf("job manager close: %v", err)
+		if err := stack.Close(); err != nil {
+			t.Errorf("stack close: %v", err)
 		}
 	})
-	return ts
+	return stack
 }
 
 // TestDriverEndToEnd replays a short mixed load against the in-process stack
@@ -59,9 +39,9 @@ func newHarnessServer(t *testing.T) *httptest.Server {
 // schedule revalidates with zero violations, and the duplicate-heavy corpus
 // produces cache hits.
 func TestDriverEndToEnd(t *testing.T) {
-	ts := newHarnessServer(t)
+	stack := newHarnessServer(t)
 	d, err := NewDriver(Config{
-		BaseURL:  ts.URL,
+		BaseURL:  stack.URL,
 		Corpus:   BuildCorpus(1),
 		Mix:      Mix{Solve: 6, Batch: 2, Jobs: 2},
 		Rate:     400,
@@ -96,6 +76,24 @@ func TestDriverEndToEnd(t *testing.T) {
 		if cs.Latency.Count == 0 || cs.Latency.P50MS < 0 || cs.Latency.P99MS < cs.Latency.P50MS {
 			t.Errorf("class %s latency summary is inconsistent: %+v", class, cs.Latency)
 		}
+		// Every class aggregates the engine telemetry of its solves, so load
+		// runs double as solver-behaviour regressions.
+		total := 0
+		for _, n := range cs.Telemetry.Sources {
+			total += n
+		}
+		if total == 0 {
+			t.Errorf("class %s aggregated no telemetry sources: %+v", class, cs.Telemetry)
+		}
+	}
+	// The duplicate-heavy corpus must surface non-solve sources somewhere.
+	served := 0
+	for _, class := range []string{ClassSolve, ClassBatch, ClassJobs} {
+		cs := rep.Classes[class]
+		served += cs.Telemetry.Sources["cache"] + cs.Telemetry.Sources["coalesced"]
+	}
+	if served == 0 {
+		t.Error("per-class telemetry recorded no cache-served results")
 	}
 	if rep.Cache.CacheServed == 0 {
 		t.Error("replay of a duplicate-heavy corpus produced no cache hits")

@@ -81,6 +81,18 @@ func (r *Report) Text() string {
 			fmt.Fprintf(&b, " incumbents=%d", cs.Incumbents)
 		}
 		b.WriteByte('\n')
+		if tel := cs.Telemetry; len(tel.Sources) > 0 || tel.Nodes > 0 {
+			srcs := make([]string, 0, len(tel.Sources))
+			for s := range tel.Sources {
+				srcs = append(srcs, s)
+			}
+			sort.Strings(srcs)
+			fmt.Fprintf(&b, "  telemetry: nodes=%d incumbents=%d", tel.Nodes, tel.Incumbents)
+			for _, s := range srcs {
+				fmt.Fprintf(&b, " %s=%d", s, tel.Sources[s])
+			}
+			b.WriteByte('\n')
+		}
 		for _, e := range cs.ErrorSamples {
 			fmt.Fprintf(&b, "  error: %s\n", e)
 		}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"crsharing/internal/engine"
+	"crsharing/internal/jobs"
+	"crsharing/internal/service"
+	"crsharing/internal/solver"
+)
+
+// StackConfig configures an in-process stack. Zero values take the
+// documented defaults, which mirror a small production deployment.
+type StackConfig struct {
+	// DefaultSolver is used by requests that name none (default "portfolio").
+	DefaultSolver string
+	// MaxConcurrent is the engine's global admission budget shared by sync,
+	// batch and job solves (default 64 — the harness deliberately saturates
+	// the server, and a generous budget keeps queueing delay out of the
+	// measured latencies).
+	MaxConcurrent int
+	// CacheShards / CacheCapacity size the memo cache (defaults 16 / 4096).
+	CacheShards, CacheCapacity int
+	// Workers / QueueDepth size the job subsystem (defaults 4 / 1024).
+	Workers, QueueDepth int
+	// JobDefaultTimeout / JobMaxTimeout are the job deadline policy
+	// (defaults 1m / 10m).
+	JobDefaultTimeout, JobMaxTimeout time.Duration
+	// Version is reported by /healthz (default "harness").
+	Version string
+}
+
+// Stack is the full production stack — one shared engine (registry, memo
+// cache, admission semaphore, telemetry), the job manager and the HTTP layer
+// — behind an httptest listener. It is what cmd/crload drives when no -addr
+// is given and what end-to-end tests wire up in one call.
+type Stack struct {
+	// URL is the base URL of the listening server.
+	URL string
+	// Engine is the shared solve pipeline (useful for telemetry snapshots).
+	Engine *engine.Engine
+	// Manager is the job subsystem.
+	Manager *jobs.Manager
+	// Server is the HTTP layer.
+	Server *service.Server
+
+	listener *httptest.Server
+}
+
+// NewStack wires registry, shared engine, job manager and HTTP layer behind
+// an httptest listener. Close releases everything in order.
+func NewStack(cfg StackConfig) (*Stack, error) {
+	if cfg.DefaultSolver == "" {
+		cfg.DefaultSolver = "portfolio"
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 64
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 16
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 4096
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.JobDefaultTimeout <= 0 {
+		cfg.JobDefaultTimeout = time.Minute
+	}
+	if cfg.JobMaxTimeout <= 0 {
+		cfg.JobMaxTimeout = 10 * time.Minute
+	}
+	if cfg.Version == "" {
+		cfg.Version = "harness"
+	}
+
+	eng, err := engine.New(engine.Config{
+		Registry:      solver.Default(),
+		Cache:         solver.NewCache(cfg.CacheShards, cfg.CacheCapacity),
+		DefaultSolver: cfg.DefaultSolver,
+		MaxConcurrent: cfg.MaxConcurrent,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	manager, err := jobs.New(jobs.Config{
+		Engine:         eng,
+		DefaultSolver:  cfg.DefaultSolver,
+		Workers:        cfg.Workers,
+		QueueDepth:     cfg.QueueDepth,
+		DefaultTimeout: cfg.JobDefaultTimeout,
+		MaxTimeout:     cfg.JobMaxTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	srv, err := service.New(service.Config{
+		Engine:  eng,
+		Jobs:    manager,
+		Version: cfg.Version,
+	})
+	if err != nil {
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = manager.Close(cctx)
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	return &Stack{
+		URL:      ts.URL,
+		Engine:   eng,
+		Manager:  manager,
+		Server:   srv,
+		listener: ts,
+	}, nil
+}
+
+// Close tears the stack down in order: listener first (drains handlers),
+// then the job manager (cancels running jobs). It returns the manager's
+// shutdown error, if any.
+func (s *Stack) Close() error {
+	s.listener.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return s.Manager.Close(ctx)
+}

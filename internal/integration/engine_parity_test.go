@@ -1,0 +1,158 @@
+package integration
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"crsharing/internal/core"
+	"crsharing/internal/engine"
+	"crsharing/internal/gen"
+	"crsharing/internal/jobs"
+	"crsharing/internal/solver"
+)
+
+// normalize blanks the per-request fields of a telemetry record (wall-clock
+// and admission wait vary run to run); everything else — search effort,
+// winner, cache source, bounds, schedule shape — must be identical across
+// surfaces.
+func normalize(t engine.Telemetry) engine.Telemetry {
+	t.ElapsedMS = 0
+	t.QueueMS = 0
+	return t
+}
+
+func newParityEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	eng, err := engine.New(engine.Config{
+		Registry: solver.Default(),
+		Cache:    solver.NewCache(4, 64),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestEngineTelemetryParityAcrossSurfaces replays the same fingerprint
+// sequence through each solve surface — direct synchronous Solve, the batch
+// fan-out, and the asynchronous job manager — on its own fresh engine, and
+// asserts every surface produces identical telemetry: the same cache-source
+// sequence (solve, solve, cache), the same deterministic node counts for
+// branch-and-bound, the same winners, bounds and schedule shapes. This is
+// the contract the engine refactor exists to establish: there is exactly
+// one solve pipeline, whichever door a request comes in through.
+func TestEngineTelemetryParityAcrossSurfaces(t *testing.T) {
+	instA := gen.Figure1()
+	instB := core.NewInstance([]float64{0.6, 0.4, 0.6}, []float64{0.5, 0.5})
+	// The sequence repeats instA, so the third request must be served from
+	// the cache on every surface.
+	sequence := []*core.Instance{instA, instB, instA}
+	wantSources := []string{"solve", "solve", "cache"}
+
+	for _, solverName := range []string{"branch-and-bound", "greedy-balance"} {
+		t.Run(solverName, func(t *testing.T) {
+			surfaces := map[string][]engine.Telemetry{
+				"sync":  runSyncSequence(t, solverName, sequence),
+				"batch": runBatchSequence(t, solverName, sequence),
+				"jobs":  runJobSequence(t, solverName, sequence),
+			}
+			reference := surfaces["sync"]
+			for i, src := range wantSources {
+				if reference[i].Source != src {
+					t.Fatalf("sync request %d source %q, want %q", i, reference[i].Source, src)
+				}
+			}
+			if solverName == "branch-and-bound" && reference[0].Nodes <= 0 {
+				t.Fatalf("branch-and-bound telemetry reports no explored nodes: %+v", reference[0])
+			}
+			if solverName == "greedy-balance" && reference[0].Nodes != 0 {
+				t.Fatalf("heuristic telemetry reports search nodes: %+v", reference[0])
+			}
+			// The cached repeat must replay the original solve's effort.
+			if reference[2].Nodes != reference[0].Nodes || reference[2].Makespan != reference[0].Makespan {
+				t.Fatalf("cache replay diverged from the original: %+v vs %+v", reference[2], reference[0])
+			}
+			for surface, got := range surfaces {
+				if len(got) != len(reference) {
+					t.Fatalf("%s produced %d records, want %d", surface, len(got), len(reference))
+				}
+				for i := range reference {
+					if normalize(got[i]) != normalize(reference[i]) {
+						t.Errorf("%s request %d telemetry diverges from sync:\n  %+v\nvs\n  %+v",
+							surface, i, normalize(got[i]), normalize(reference[i]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// runSyncSequence replays the sequence through Engine.Solve.
+func runSyncSequence(t *testing.T, solverName string, seq []*core.Instance) []engine.Telemetry {
+	t.Helper()
+	eng := newParityEngine(t)
+	out := make([]engine.Telemetry, len(seq))
+	for i, inst := range seq {
+		res, err := eng.Solve(context.Background(), engine.Request{Solver: solverName, Instance: inst})
+		if err != nil {
+			t.Fatalf("sync request %d: %v", i, err)
+		}
+		out[i] = res.Telemetry
+	}
+	return out
+}
+
+// runBatchSequence replays the sequence as single-instance batches through
+// Engine.SolveEach, preserving the request order (one batch of the whole
+// sequence would race the duplicate against itself and nondeterministically
+// coalesce instead of hitting the cache).
+func runBatchSequence(t *testing.T, solverName string, seq []*core.Instance) []engine.Telemetry {
+	t.Helper()
+	eng := newParityEngine(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	out := make([]engine.Telemetry, len(seq))
+	for i, inst := range seq {
+		outcomes := eng.SolveEach(ctx, solverName, []*core.Instance{inst}, 1)
+		if len(outcomes) != 1 || outcomes[0].Err != nil {
+			t.Fatalf("batch request %d: %+v", i, outcomes)
+		}
+		out[i] = outcomes[0].Result.Telemetry
+	}
+	return out
+}
+
+// runJobSequence replays the sequence through an asynchronous job manager
+// backed by the same engine configuration (one worker keeps the order).
+func runJobSequence(t *testing.T, solverName string, seq []*core.Instance) []engine.Telemetry {
+	t.Helper()
+	eng := newParityEngine(t)
+	manager, err := jobs.New(jobs.Config{Engine: eng, Workers: 1, QueueDepth: 8, DefaultSolver: solverName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		manager.Close(ctx)
+	})
+	out := make([]engine.Telemetry, len(seq))
+	for i, inst := range seq {
+		snap, err := manager.Submit(jobs.Request{Instance: inst})
+		if err != nil {
+			t.Fatalf("job submit %d: %v", i, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		final, err := manager.Wait(ctx, snap.ID)
+		cancel()
+		if err != nil {
+			t.Fatalf("job wait %d: %v", i, err)
+		}
+		if final.State != jobs.StateDone || final.Result == nil || final.Result.Telemetry == nil {
+			t.Fatalf("job %d ended %s without telemetry: %+v", i, final.State, final.Result)
+		}
+		out[i] = *final.Result.Telemetry
+	}
+	return out
+}

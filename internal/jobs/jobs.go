@@ -11,9 +11,12 @@
 //
 // and every transition (plus each improving incumbent reported by the solver
 // through internal/progress) is delivered to subscribers, which the HTTP
-// layer exposes as a server-sent-event stream. Solves drain through the same
-// solver.Cache as the synchronous path, so an async result warms the cache
-// for later synchronous requests and vice versa.
+// layer exposes as a server-sent-event stream. Worker solves are submitted
+// to the shared internal/engine pipeline, so they draw from the same global
+// admission budget and memo cache as the synchronous path: an async result
+// warms the cache for later synchronous requests and vice versa, and a burst
+// of heavy jobs queues behind the same concurrency cap instead of
+// oversubscribing the machine.
 package jobs
 
 import (
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"crsharing/internal/core"
+	"crsharing/internal/engine"
 	"crsharing/internal/progress"
 	"crsharing/internal/solver"
 )
@@ -99,6 +103,9 @@ type Result struct {
 	// cache hits it replays the original solve's duration.
 	ElapsedMS float64        `json:"elapsed_ms"`
 	Schedule  *core.Schedule `json:"schedule,omitempty"`
+	// Telemetry is the engine's structured account of the solve: search
+	// nodes, incumbents, cache source, admission queueing and schedule shape.
+	Telemetry *engine.Telemetry `json:"telemetry,omitempty"`
 }
 
 // Snapshot is the externally visible record of a job at one point in time.
@@ -141,6 +148,10 @@ type Event struct {
 	State State     `json:"state"`
 	// Incumbent is set for EventIncumbent events.
 	Incumbent *Incumbent `json:"incumbent,omitempty"`
+	// Telemetry is set on the terminal event of done jobs: the engine's
+	// structured account of the finished solve, so SSE consumers need not
+	// re-fetch the record to see how the answer was produced.
+	Telemetry *engine.Telemetry `json:"telemetry,omitempty"`
 	// Error is set on the terminal event of failed and cancelled jobs.
 	Error string `json:"error,omitempty"`
 }
@@ -174,13 +185,19 @@ var (
 // Config configures a Manager. Zero values of optional fields take the
 // documented defaults.
 type Config struct {
-	// Registry resolves solver names; required.
+	// Engine, when non-nil, is the solve pipeline the workers submit to.
+	// Share one engine with the synchronous serving layer so job solves draw
+	// from the same global admission budget and memo cache. When nil, New
+	// builds a private engine from the legacy fields below.
+	Engine *engine.Engine
+	// Registry resolves solver names; required when Engine is nil.
 	Registry *solver.Registry
 	// Cache, when non-nil, memoises evaluations and deduplicates identical
-	// concurrent solves; share it with the synchronous path so both warm the
-	// same entries.
+	// concurrent solves. Ignored when Engine is set (the engine owns the
+	// cache).
 	Cache *solver.Cache
-	// DefaultSolver is used when a request names none (default "portfolio").
+	// DefaultSolver is used when a request names none (default: the
+	// engine's default solver).
 	DefaultSolver string
 	// Workers is the worker pool size (default 4).
 	Workers int
@@ -249,13 +266,24 @@ type Manager struct {
 // New validates the configuration, restores any stored records and starts
 // the worker pool.
 func New(cfg Config) (*Manager, error) {
-	if cfg.Registry == nil {
-		return nil, errors.New("jobs: Config.Registry is required")
+	if cfg.Engine == nil {
+		if cfg.Registry == nil {
+			return nil, errors.New("jobs: Config.Engine or Config.Registry is required")
+		}
+		eng, err := engine.New(engine.Config{
+			Registry:      cfg.Registry,
+			Cache:         cfg.Cache,
+			DefaultSolver: cfg.DefaultSolver,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("jobs: %w", err)
+		}
+		cfg.Engine = eng
 	}
 	if cfg.DefaultSolver == "" {
-		cfg.DefaultSolver = "portfolio"
+		cfg.DefaultSolver = cfg.Engine.DefaultSolver()
 	}
-	if _, err := cfg.Registry.New(cfg.DefaultSolver); err != nil {
+	if _, err := cfg.Engine.ResolveSolver(cfg.DefaultSolver); err != nil {
 		return nil, fmt.Errorf("jobs: default solver: %w", err)
 	}
 	if cfg.Workers <= 0 {
@@ -354,7 +382,7 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 	if req.Solver == "" {
 		req.Solver = m.cfg.DefaultSolver
 	}
-	if _, err := m.cfg.Registry.New(req.Solver); err != nil {
+	if _, err := m.cfg.Engine.ResolveSolver(req.Solver); err != nil {
 		return Snapshot{}, err
 	}
 	if req.Timeout <= 0 {
@@ -423,7 +451,11 @@ func (m *Manager) run(j *job) {
 		j.mu.Unlock()
 		return
 	}
-	ctx, cancel := context.WithTimeout(m.baseCtx, j.req.Timeout)
+	// The cancel handle interrupts the running solve (client cancel or
+	// shutdown); the solve budget itself is applied by the engine, which
+	// clamps against the manager's limits rather than the much tighter
+	// synchronous ones.
+	ctx, cancel := context.WithCancel(m.baseCtx)
 	defer cancel()
 	j.cancel = cancel
 	j.snap.State = StateRunning
@@ -436,34 +468,32 @@ func (m *Manager) run(j *job) {
 	defer m.running.Add(-1)
 	m.notify(j, Event{Type: EventState, JobID: j.snap.ID, State: StateRunning})
 
-	sctx := progress.WithObserver(ctx, func(inc progress.Incumbent) {
-		m.observe(j, start, inc)
+	limits := engine.Limits{Default: m.cfg.DefaultTimeout, Max: m.cfg.MaxTimeout}
+	res, err := m.cfg.Engine.Solve(ctx, engine.Request{
+		Solver:      j.snap.Solver,
+		Instance:    j.req.Instance,
+		Fingerprint: &j.fp,
+		Timeout:     j.req.Timeout,
+		Limits:      &limits,
+		Observer: func(inc progress.Incumbent) {
+			m.observe(j, start, inc)
+		},
 	})
-	sv, err := m.cfg.Registry.New(j.snap.Solver)
-	var (
-		ev  *solver.Evaluation
-		src solver.Source
-	)
-	if err == nil {
-		if m.cfg.Cache != nil {
-			ev, src, err = m.cfg.Cache.EvaluateWithFingerprint(sctx, sv, j.req.Instance, j.fp)
-		} else {
-			src = solver.SourceSolve
-			ev, err = solver.Evaluate(sctx, sv, j.req.Instance)
-		}
-	}
 
 	j.mu.Lock()
 	j.cancel = nil
 	j.snap.Finished = time.Now().UTC()
 	ctxErr := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	var counter *atomic.Uint64
+	var doneTelemetry *engine.Telemetry
 	switch {
 	case err == nil:
+		ev := res.Evaluation
+		tel := res.Telemetry
 		j.snap.State = StateDone
 		j.snap.Result = &Result{
 			Algorithm:  ev.Algorithm,
-			Source:     string(src),
+			Source:     string(res.Source),
 			Makespan:   ev.Makespan,
 			LowerBound: ev.LowerBound,
 			Ratio:      ev.Ratio,
@@ -471,7 +501,9 @@ func (m *Manager) run(j *job) {
 			Properties: ev.Properties.String(),
 			ElapsedMS:  float64(ev.Stats.Elapsed) / float64(time.Millisecond),
 			Schedule:   ev.Schedule,
+			Telemetry:  &tel,
 		}
+		doneTelemetry = &tel
 		counter = &m.done
 	case j.cancelRequested && ctxErr:
 		j.snap.State = StateCancelled
@@ -496,7 +528,7 @@ func (m *Manager) run(j *job) {
 
 	counter.Add(1)
 	m.persist(j)
-	m.finish(j, Event{Type: EventState, JobID: snap.ID, State: snap.State, Error: snap.Error})
+	m.finish(j, Event{Type: EventState, JobID: snap.ID, State: snap.State, Telemetry: doneTelemetry, Error: snap.Error})
 	m.evict()
 }
 

@@ -1,15 +1,20 @@
-// Package progress carries incumbent-reporting callbacks through contexts,
-// so long-running solvers can stream improving solutions to whoever started
-// them without the algo packages depending on the solver or serving layers.
+// Package progress carries solve-instrumentation hooks through contexts, so
+// long-running solvers can stream improving solutions — and account for the
+// search effort they spend — to whoever started them without the algo
+// packages depending on the solver or serving layers.
 //
 // The package sits below internal/algo in the dependency order on purpose:
 // internal/solver imports the algo packages, so a hook defined there could
 // not be called from inside a kernel. A caller attaches an observer with
-// WithObserver; kernels call Report whenever they install a new best-so-far
-// solution, which is a no-op when no observer is attached.
+// WithObserver and a counter set with WithCounters; kernels call Report
+// whenever they install a new best-so-far solution and AddNodes as they
+// explore, both of which are no-ops when nothing is attached.
 package progress
 
-import "context"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // Incumbent is one improving solution found during a solve: the solver that
 // produced it and its makespan. Reports are made whenever a kernel installs
@@ -30,6 +35,20 @@ type Func func(Incumbent)
 
 type ctxKey struct{}
 
+type countersKey struct{}
+
+// Counters accumulates the search effort of one solve. Kernels add to it
+// through the context (AddNodes, Report); the solver adapters read it into
+// solver.Stats when the solve returns. All fields are atomic: parallel
+// kernels write from many goroutines.
+type Counters struct {
+	// Nodes counts explored search nodes (branch-and-bound) or generated
+	// configurations (the enumeration algorithms). Heuristics leave it zero.
+	Nodes atomic.Int64
+	// Incumbents counts improving solutions reported through Report.
+	Incumbents atomic.Int64
+}
+
 // WithObserver returns a context carrying fn as the incumbent observer.
 // Attaching a nil observer returns ctx unchanged.
 func WithObserver(ctx context.Context, fn Func) context.Context {
@@ -39,8 +58,36 @@ func WithObserver(ctx context.Context, fn Func) context.Context {
 	return context.WithValue(ctx, ctxKey{}, fn)
 }
 
-// Report delivers inc to the observer attached to ctx, if any.
+// WithCounters returns a context carrying c as the solve counter set.
+// Attaching nil counters returns ctx unchanged.
+func WithCounters(ctx context.Context, c *Counters) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, countersKey{}, c)
+}
+
+// CountersFrom returns the counter set attached to ctx, or nil.
+func CountersFrom(ctx context.Context) *Counters {
+	c, _ := ctx.Value(countersKey{}).(*Counters)
+	return c
+}
+
+// AddNodes adds n explored nodes / configurations to the counters attached
+// to ctx, if any. Kernels call it in batches (once per round, or once at the
+// end of a subtree), not per node, to keep it off the hot path.
+func AddNodes(ctx context.Context, n int64) {
+	if c := CountersFrom(ctx); c != nil && n > 0 {
+		c.Nodes.Add(n)
+	}
+}
+
+// Report delivers inc to the observer attached to ctx, if any, and counts it
+// against the attached counters' incumbent tally.
 func Report(ctx context.Context, inc Incumbent) {
+	if c := CountersFrom(ctx); c != nil {
+		c.Incumbents.Add(1)
+	}
 	if fn, ok := ctx.Value(ctxKey{}).(Func); ok {
 		fn(inc)
 	}

@@ -39,3 +39,55 @@ func TestObserverNestsLikeContextValues(t *testing.T) {
 		t.Fatalf("innermost observer must win: outer=%d inner=%d", outer, inner)
 	}
 }
+
+func TestCountersAccumulate(t *testing.T) {
+	ctr := &Counters{}
+	ctx := WithCounters(context.Background(), ctr)
+	AddNodes(ctx, 10)
+	AddNodes(ctx, 5)
+	AddNodes(ctx, 0)  // ignored
+	AddNodes(ctx, -3) // ignored: batches are always positive
+	Report(ctx, Incumbent{Solver: "x", Makespan: 4})
+	Report(ctx, Incumbent{Solver: "x", Makespan: 3})
+	if got := ctr.Nodes.Load(); got != 15 {
+		t.Fatalf("Nodes = %d, want 15", got)
+	}
+	if got := ctr.Incumbents.Load(); got != 2 {
+		t.Fatalf("Incumbents = %d, want 2", got)
+	}
+}
+
+func TestCountersNoopWithoutAttachment(t *testing.T) {
+	// Must not panic.
+	AddNodes(context.Background(), 10)
+	if CountersFrom(context.Background()) != nil {
+		t.Fatal("CountersFrom on a bare context must be nil")
+	}
+	ctx := context.Background()
+	if WithCounters(ctx, nil) != ctx {
+		t.Fatal("nil counters must not wrap the context")
+	}
+}
+
+func TestCountersAndObserverCompose(t *testing.T) {
+	ctr := &Counters{}
+	var observed int
+	ctx := WithCounters(context.Background(), ctr)
+	ctx = WithObserver(ctx, func(Incumbent) { observed++ })
+	Report(ctx, Incumbent{Makespan: 7})
+	if observed != 1 || ctr.Incumbents.Load() != 1 {
+		t.Fatalf("observer=%d counter=%d, want both 1", observed, ctr.Incumbents.Load())
+	}
+}
+
+func TestCountersShadowLikeContextValues(t *testing.T) {
+	outer, inner := &Counters{}, &Counters{}
+	ctx := WithCounters(context.Background(), outer)
+	ctx2 := WithCounters(ctx, inner)
+	AddNodes(ctx2, 4)
+	AddNodes(ctx, 2)
+	if outer.Nodes.Load() != 2 || inner.Nodes.Load() != 4 {
+		t.Fatalf("innermost counters must win: outer=%d inner=%d",
+			outer.Nodes.Load(), inner.Nodes.Load())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"crsharing/internal/core"
+	"crsharing/internal/engine"
 	"crsharing/internal/gen"
 	"crsharing/internal/jobs"
 	"crsharing/internal/solver"
@@ -27,12 +28,18 @@ import (
 // schedules with core.Execute and runs race-enabled with the rest of the
 // suite.
 func TestEndToEnd(t *testing.T) {
-	reg := solver.Default()
-	cache := solver.NewCache(8, 256)
+	// One engine for the whole stack, exactly like cmd/crserved wires it:
+	// sync handlers, batch fan-out and job workers share its admission
+	// budget, memo cache and telemetry.
+	eng, err := engine.New(engine.Config{
+		Registry: solver.Default(),
+		Cache:    solver.NewCache(8, 256),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	manager, err := jobs.New(jobs.Config{
-		Registry:       reg,
-		Cache:          cache,
-		DefaultSolver:  "portfolio",
+		Engine:         eng,
 		Workers:        2,
 		QueueDepth:     64,
 		DefaultTimeout: 20 * time.Second,
@@ -42,10 +49,9 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv, err := New(Config{
-		Registry: reg,
-		Cache:    cache,
-		Jobs:     manager,
-		Version:  "e2e",
+		Engine:  eng,
+		Jobs:    manager,
+		Version: "e2e",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -79,6 +85,20 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatalf("first solve source %q, want %q", first.Source, solver.SourceSolve)
 	}
 	assertScheduleMatches(t, inst, first.Schedule, first.Makespan)
+	// The response must carry populated engine telemetry: the default
+	// portfolio races branch-and-bound, so a fresh solve explored nodes.
+	if first.Telemetry == nil {
+		t.Fatal("fresh solve response carries no telemetry")
+	}
+	if first.Telemetry.Source != string(solver.SourceSolve) || first.Telemetry.Nodes <= 0 {
+		t.Fatalf("fresh solve telemetry malformed: %+v", first.Telemetry)
+	}
+	if first.Telemetry.Makespan != first.Makespan || first.Telemetry.LowerBound != first.LowerBound {
+		t.Fatalf("telemetry diverges from the response: %+v vs %+v", first.Telemetry, first)
+	}
+	if k := first.Telemetry.LowerBoundKind; k != "work" && k != "chain" {
+		t.Fatalf("telemetry lower bound kind %q", k)
+	}
 
 	// The identical repeat must be answered from the cache with the same
 	// fingerprint and result.
@@ -96,6 +116,15 @@ func TestEndToEnd(t *testing.T) {
 	if second.Fingerprint != first.Fingerprint || second.Makespan != first.Makespan {
 		t.Fatalf("cache replay diverged: %+v vs %+v", second, first)
 	}
+	// The cached reply replays the original solve's telemetry with the
+	// source corrected: same search effort, answered from the cache.
+	if second.Telemetry == nil || second.Telemetry.Source != string(solver.SourceCache) {
+		t.Fatalf("cache replay telemetry malformed: %+v", second.Telemetry)
+	}
+	if second.Telemetry.Nodes != first.Telemetry.Nodes {
+		t.Fatalf("cache replay changed the recorded search effort: %d vs %d",
+			second.Telemetry.Nodes, first.Telemetry.Nodes)
+	}
 
 	// Batch solve mixes the cached instance with fresh ones.
 	var batch BatchResponse
@@ -111,6 +140,16 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if batch.Count != 3 || batch.Solved != 3 || batch.Failed != 0 || batch.Cancelled != 0 {
 		t.Fatalf("batch outcome: %+v", batch)
+	}
+	for _, res := range batch.Results {
+		if res.Telemetry == nil || res.Source == "" {
+			t.Fatalf("batch result without telemetry: %+v", res)
+		}
+	}
+	// The batch repeated the cached instance: its shard must report a cache
+	// source, not a fresh solve.
+	if src := batch.Results[0].Source; src == string(solver.SourceSolve) {
+		t.Fatalf("batch shard re-solved a cached fingerprint (source %q)", src)
 	}
 
 	// Async job lifecycle on a fresh (uncached) instance: accepted pending,
@@ -132,6 +171,14 @@ func TestEndToEnd(t *testing.T) {
 	for _, ev := range events {
 		if ev.name == string(jobs.EventState) && ev.data.State.Terminal() {
 			sawTerminal = true
+			// The terminal event of a done job carries the solve telemetry,
+			// so SSE consumers see how the answer was produced without
+			// re-fetching the record.
+			if ev.data.State == jobs.StateDone {
+				if ev.data.Telemetry == nil || ev.data.Telemetry.Nodes <= 0 {
+					t.Fatalf("terminal SSE event without populated telemetry: %+v", ev.data)
+				}
+			}
 		}
 	}
 	if !sawTerminal {
@@ -145,6 +192,9 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatalf("done job without result: %+v", final)
 	}
 	assertScheduleMatches(t, jobInst, final.Result.Schedule, final.Result.Makespan)
+	if final.Result.Telemetry == nil || final.Result.Telemetry.Nodes <= 0 {
+		t.Fatalf("job record without populated telemetry: %+v", final.Result.Telemetry)
+	}
 
 	// Metrics must account for everything above, as the shell greps did.
 	metricsBody := getText(t, ts.URL+"/metrics")

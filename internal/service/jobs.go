@@ -122,7 +122,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		fl.Flush()
 		return true
 	}
-	if !write(jobs.Event{Type: jobs.EventState, JobID: snap.ID, State: snap.State, Error: snap.Error}) {
+	first := jobs.Event{Type: jobs.EventState, JobID: snap.ID, State: snap.State, Error: snap.Error}
+	if snap.Result != nil {
+		// A subscriber joining after completion still sees the solve
+		// telemetry on its (terminal) synthetic event, matching the live
+		// terminal event the manager emits.
+		first.Telemetry = snap.Result.Telemetry
+	}
+	if !write(first) {
 		return
 	}
 	for {

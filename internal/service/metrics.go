@@ -3,53 +3,82 @@ package service
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"crsharing/internal/engine"
 	"crsharing/internal/jobs"
-	"crsharing/internal/solver"
 )
 
-// metrics holds the server's counters. Everything is atomic: handlers run
-// concurrently and /metrics reads while they write.
+// metrics holds the server's request-level counters. Everything is atomic:
+// handlers run concurrently and /metrics reads while they write. Solve-level
+// accounting (sources, nodes, admission, latency histograms) lives in the
+// engine, which write renders alongside.
 type metrics struct {
 	requestsSolve   atomic.Uint64
 	requestsBatch   atomic.Uint64
 	requestsJobs    atomic.Uint64
 	requestsOther   atomic.Uint64
 	errorsTotal     atomic.Uint64
-	solvesTotal     atomic.Uint64 // fresh solves performed (source=solve)
-	cacheServed     atomic.Uint64 // requests answered without a fresh solve
 	batchInstances  atomic.Uint64
 	batchCancelled  atomic.Uint64
-	solveInflight   atomic.Int64
 	deadlineExpired atomic.Uint64
 }
 
-// write renders the counters (and the cache's and job manager's, when
-// present) in the Prometheus text exposition format (version 0.0.4): every
-// sample is preceded by its # HELP and # TYPE lines, which also makes the
-// endpoint perfectly readable with curl.
-func (m *metrics) write(w io.Writer, cache *solver.Cache, jm *jobs.Manager, uptime time.Duration) {
+// write renders the request counters, the engine's solve telemetry (sources,
+// search nodes, admission queueing and the solve latency / search-size
+// histograms), the cache counters and the job manager's gauges in the
+// Prometheus text exposition format (version 0.0.4): every sample is
+// preceded by its # HELP and # TYPE lines, which also makes the endpoint
+// perfectly readable with curl.
+func (m *metrics) write(w io.Writer, eng *engine.Engine, jm *jobs.Manager, uptime time.Duration) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
+	// floatCounter renders a monotonically increasing float accumulator with
+	// the counter type the _total suffix promises.
+	floatCounter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	histogram := func(name, help string, h engine.Histogram) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for i, bound := range h.Bounds {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(bound, 'g', -1, 64), h.Counts[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+
 	counter("crsharing_requests_solve_total", "POST /v1/solve requests.", m.requestsSolve.Load())
 	counter("crsharing_requests_batch_total", "POST /v1/batch-solve requests.", m.requestsBatch.Load())
 	counter("crsharing_requests_jobs_total", "Requests to the /v1/jobs endpoints.", m.requestsJobs.Load())
 	counter("crsharing_requests_other_total", "Requests to the remaining endpoints.", m.requestsOther.Load())
 	counter("crsharing_errors_total", "Requests answered with a non-2xx status.", m.errorsTotal.Load())
-	counter("crsharing_solves_total", "Fresh solver invocations (cache misses).", m.solvesTotal.Load())
-	counter("crsharing_cache_served_total", "Solve requests answered from the cache or an in-flight solve.", m.cacheServed.Load())
 	counter("crsharing_batch_instances_total", "Instances received in batch requests.", m.batchInstances.Load())
 	counter("crsharing_batch_cancelled_total", "Batch instances never attempted because the deadline expired.", m.batchCancelled.Load())
 	counter("crsharing_deadline_expired_total", "Solve requests that hit their deadline.", m.deadlineExpired.Load())
-	gauge("crsharing_solve_inflight", "Solves currently running.", float64(m.solveInflight.Load()))
 	gauge("crsharing_uptime_seconds", "Seconds since the server started.", uptime.Seconds())
-	if cache != nil {
+
+	snap := eng.Snapshot()
+	counter("crsharing_solves_total", "Fresh solver invocations (cache misses), across every surface.", snap.SourceSolve)
+	counter("crsharing_cache_served_total", "Solve requests answered from the cache or an in-flight solve.", snap.SourceCache+snap.SourceCoalesced)
+	counter("crsharing_engine_source_cache_total", "Solve requests answered from the memo cache.", snap.SourceCache)
+	counter("crsharing_engine_source_coalesced_total", "Solve requests coalesced onto an identical in-flight solve.", snap.SourceCoalesced)
+	counter("crsharing_engine_errors_total", "Solve requests that failed (including deadline expiries).", snap.Errors)
+	counter("crsharing_engine_nodes_total", "Search nodes / configurations explored by fresh solves.", uint64(snap.NodesTotal))
+	counter("crsharing_engine_incumbents_total", "Improving incumbents reported by fresh solves.", uint64(snap.IncumbentsTotal))
+	floatCounter("crsharing_engine_queue_wait_seconds_total", "Total time solve requests spent waiting for admission.", snap.QueueSeconds)
+	gauge("crsharing_solve_inflight", "Admission weight currently held by running solves.", float64(snap.Inflight))
+	gauge("crsharing_engine_admission_waiting", "Solve requests queued for admission right now.", float64(snap.Waiting))
+	histogram("crsharing_engine_solve_duration_seconds", "Wall-clock distribution of fresh solves.", snap.SolveSeconds)
+	histogram("crsharing_engine_solve_nodes", "Search-size distribution (nodes / configurations) of fresh solves.", snap.SolveNodes)
+
+	if cache := eng.Cache(); cache != nil {
 		st := cache.Stats()
 		counter("crsharing_cache_hits_total", "Memo cache hits.", st.Hits)
 		counter("crsharing_cache_misses_total", "Memo cache misses.", st.Misses)

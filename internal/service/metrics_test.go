@@ -10,20 +10,27 @@ import (
 	"testing"
 	"time"
 
+	"crsharing/internal/engine"
 	"crsharing/internal/jobs"
 	"crsharing/internal/solver"
 )
 
 // TestMetricsExpositionFormat pins the /metrics contract: the Prometheus
 // text exposition content type (version 0.0.4) and, for every sample, a
-// preceding # HELP and # TYPE line declaring a valid metric type. The job
-// gauges must be present when a job manager is configured.
+// preceding # HELP and # TYPE line declaring a valid metric type. Histogram
+// samples (the engine's solve duration and search-size distributions) are
+// declared under their base name and expose cumulative le-labelled buckets
+// plus _sum and _count. The job gauges must be present when a job manager
+// is configured.
 func TestMetricsExpositionFormat(t *testing.T) {
 	reg := solver.NewRegistry()
 	stub := &stubSolver{name: "stub"}
 	reg.Register("stub", func() solver.Solver { return stub })
-	cache := solver.NewCache(4, 64)
-	manager, err := jobs.New(jobs.Config{Registry: reg, Cache: cache, DefaultSolver: "stub", Workers: 1, QueueDepth: 4})
+	eng, err := engine.New(engine.Config{Registry: reg, Cache: solver.NewCache(4, 64), DefaultSolver: "stub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manager, err := jobs.New(jobs.Config{Engine: eng, Workers: 1, QueueDepth: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +39,7 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		defer cancel()
 		manager.Close(ctx)
 	})
-	srv, err := New(Config{Registry: reg, Cache: cache, DefaultSolver: "stub", Jobs: manager, Version: "test"})
+	srv, err := New(Config{Engine: eng, Jobs: manager, Version: "test"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +88,7 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		case strings.HasPrefix(line, "# TYPE "):
 			rest := strings.TrimPrefix(line, "# TYPE ")
 			name, kind, ok := strings.Cut(rest, " ")
-			if !ok || (kind != "counter" && kind != "gauge") {
+			if !ok || (kind != "counter" && kind != "gauge" && kind != "histogram") {
 				t.Fatalf("TYPE line with invalid type: %q", line)
 			}
 			typed[name] = true
@@ -98,7 +105,20 @@ func TestMetricsExpositionFormat(t *testing.T) {
 			if err != nil {
 				t.Fatalf("sample %q has non-numeric value: %v", line, err)
 			}
-			if !help[name] || !typed[name] {
+			// Histogram series samples are declared under the base name:
+			// name_bucket{le="..."}, name_sum and name_count all belong to
+			// the histogram declared as "name".
+			base := name
+			if idx := strings.IndexByte(base, '{'); idx >= 0 {
+				base = base[:idx]
+			}
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if trimmed := strings.TrimSuffix(base, suffix); trimmed != base && typed[trimmed] {
+					base = trimmed
+					break
+				}
+			}
+			if !help[base] || !typed[base] {
 				t.Fatalf("sample %q not preceded by its HELP and TYPE lines", name)
 			}
 			samples[name] = v
@@ -109,6 +129,12 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"crsharing_requests_solve_total",
 		"crsharing_solves_total",
 		"crsharing_cache_entries",
+		"crsharing_engine_nodes_total",
+		"crsharing_engine_incumbents_total",
+		"crsharing_engine_solve_duration_seconds_sum",
+		"crsharing_engine_solve_duration_seconds_count",
+		"crsharing_engine_solve_nodes_sum",
+		"crsharing_engine_solve_nodes_count",
 		"crsharing_jobs_queue_depth",
 		"crsharing_jobs_queue_capacity",
 		"crsharing_jobs_running",

@@ -1,14 +1,15 @@
 // Package service is the HTTP serving layer of the scheduling system: a
-// long-running process that answers solve requests over JSON, backed by the
-// solver registry, a sharded LRU memo cache keyed by canonical instance
-// fingerprints (identical requests are solved once and replayed from memory)
-// and singleflight deduplication of concurrent identical solves.
+// long-running process that answers solve requests over JSON. It is a thin
+// surface over internal/engine — the single solve pipeline that owns
+// admission control, deadline clamping, memo-cache routing and telemetry —
+// so the handlers here only parse requests, submit them to the engine and
+// render results (including each solve's structured Telemetry).
 //
 // Endpoints (see README.md for the full API reference and ARCHITECTURE.md
 // for the layer walkthrough):
 //
 //	POST   /v1/solve            solve one instance (SolveRequest -> SolveResponse)
-//	POST   /v1/batch-solve      solve a JSON array of instances via ParallelEach
+//	POST   /v1/batch-solve      solve a JSON array of instances (engine fan-out)
 //	GET    /v1/solvers          list the registered solver names
 //	POST   /v1/jobs             submit an asynchronous solve (202 Accepted)
 //	GET    /v1/jobs             list jobs, ?state= filters
@@ -16,11 +17,12 @@
 //	DELETE /v1/jobs/{id}        cancel a pending or running job
 //	GET    /v1/jobs/{id}/events SSE stream of state and incumbent events
 //	GET    /healthz             liveness probe
-//	GET    /metrics             counters in Prometheus text format
+//	GET    /metrics             counters and histograms in Prometheus text format
 //
 // Every synchronous solve runs under a per-request deadline
-// (request-supplied, clamped to the server maximum) and a global concurrency
-// limit shared by the single and batch paths, so a burst of heavy requests
+// (request-supplied, clamped by the engine to the configured maximum) and
+// the engine's global admission budget shared with the batch path AND the
+// asynchronous job workers, so a burst of heavy requests on any surface
 // degrades into queueing instead of oversubscribing the machine. Instances
 // that cannot finish inside any acceptable HTTP deadline go through the job
 // API instead: they queue in a bounded internal/jobs worker pool, report
@@ -37,7 +39,7 @@ import (
 	"sync"
 	"time"
 
-	"crsharing/internal/core"
+	"crsharing/internal/engine"
 	"crsharing/internal/jobs"
 	"crsharing/internal/solver"
 )
@@ -45,21 +47,30 @@ import (
 // Config configures a Server. The zero value of every optional field is
 // replaced by the documented default in New.
 type Config struct {
-	// Registry resolves solver names; required.
+	// Engine, when non-nil, is the solve pipeline the server routes through.
+	// Share one engine between the server and the job manager so every
+	// surface draws from the same admission budget and memo cache. When nil,
+	// New builds a private engine from the legacy fields below.
+	Engine *engine.Engine
+	// Registry resolves solver names; required when Engine is nil.
 	Registry *solver.Registry
-	// Cache is the memo cache; nil disables caching (every request solves).
+	// Cache is the memo cache; nil disables caching. Ignored when Engine is
+	// set (the engine owns the cache).
 	Cache *solver.Cache
 	// DefaultSolver is used when a request names none (default "portfolio").
+	// Ignored when Engine is set.
 	DefaultSolver string
 	// DefaultTimeout bounds solves that request no timeout (default 30s).
+	// Ignored when Engine is set.
 	DefaultTimeout time.Duration
-	// MaxTimeout clamps request-supplied timeouts (default 2m).
+	// MaxTimeout clamps request-supplied timeouts (default 2m). Ignored when
+	// Engine is set.
 	MaxTimeout time.Duration
+	// MaxConcurrent caps the solves running at once across all surfaces
+	// (default 16). Ignored when Engine is set.
+	MaxConcurrent int
 	// MaxBatch caps the instances of one batch request (default 1024).
 	MaxBatch int
-	// MaxConcurrent caps the solves running at once across all requests
-	// (default 16).
-	MaxConcurrent int
 	// MaxBodyBytes caps request body sizes (default 32 MiB).
 	MaxBodyBytes int64
 	// Jobs, when non-nil, enables the asynchronous job API (/v1/jobs*) for
@@ -74,8 +85,8 @@ type Config struct {
 // concurrent use.
 type Server struct {
 	cfg     Config
+	eng     *engine.Engine
 	mux     *http.ServeMux
-	sem     chan struct{}
 	started time.Time
 	metrics metrics
 	// shutdown is closed when Run starts draining; long-lived streams (SSE)
@@ -88,34 +99,34 @@ type Server struct {
 
 // New validates the configuration, applies defaults and returns a Server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Registry == nil {
-		return nil, errors.New("service: Config.Registry is required")
-	}
-	if cfg.DefaultSolver == "" {
-		cfg.DefaultSolver = "portfolio"
-	}
-	if _, err := cfg.Registry.New(cfg.DefaultSolver); err != nil {
-		return nil, fmt.Errorf("service: default solver: %w", err)
-	}
-	if cfg.DefaultTimeout <= 0 {
-		cfg.DefaultTimeout = 30 * time.Second
-	}
-	if cfg.MaxTimeout <= 0 {
-		cfg.MaxTimeout = 2 * time.Minute
+	eng := cfg.Engine
+	if eng == nil {
+		if cfg.Registry == nil {
+			return nil, errors.New("service: Config.Engine or Config.Registry is required")
+		}
+		var err error
+		eng, err = engine.New(engine.Config{
+			Registry:       cfg.Registry,
+			Cache:          cfg.Cache,
+			DefaultSolver:  cfg.DefaultSolver,
+			DefaultTimeout: cfg.DefaultTimeout,
+			MaxTimeout:     cfg.MaxTimeout,
+			MaxConcurrent:  cfg.MaxConcurrent,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1024
-	}
-	if cfg.MaxConcurrent <= 0 {
-		cfg.MaxConcurrent = 16
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 32 << 20
 	}
 	s := &Server{
 		cfg:      cfg,
+		eng:      eng,
 		mux:      http.NewServeMux(),
-		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		started:  time.Now(),
 		shutdown: make(chan struct{}),
 	}
@@ -133,6 +144,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+// Engine returns the solve pipeline the server routes through.
+func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // Handler returns the server's HTTP handler (also usable under httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -159,79 +173,20 @@ func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) erro
 	}
 }
 
-// limited wraps a solver so every Solve holds a slot of the server's global
-// semaphore; acquisition respects the request context, so a queued request
-// whose deadline expires fails with the context error instead of waiting.
-type limited struct {
-	inner solver.Solver
-	srv   *Server
-}
-
-func (l limited) Name() string { return l.inner.Name() }
-
-func (l limited) Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, solver.Stats, error) {
-	select {
-	case l.srv.sem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, solver.Stats{Solver: l.inner.Name()}, ctx.Err()
+// requestTimeout parses a request-supplied duration string. Zero means "use
+// the engine's default"; the engine clamps the value when the solve runs.
+func requestTimeout(raw string) (time.Duration, error) {
+	if raw == "" {
+		return 0, nil
 	}
-	defer func() { <-l.srv.sem }()
-	l.srv.metrics.solveInflight.Add(1)
-	defer l.srv.metrics.solveInflight.Add(-1)
-	return l.inner.Solve(ctx, inst)
-}
-
-// cached routes batch solves through the memo cache, so duplicate instances
-// within a batch, repeated batches and overlap with the single-solve path
-// all collapse into one underlying solve per fingerprint. It also keeps the
-// solve/cache metrics, which the batch handler cannot see per instance.
-type cached struct {
-	inner solver.Solver // already wrapped in limited
-	srv   *Server
-}
-
-func (c cached) Name() string { return c.inner.Name() }
-
-func (c cached) Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, solver.Stats, error) {
-	ev, src, err := c.srv.cfg.Cache.Evaluate(ctx, c.inner, inst)
+	parsed, err := time.ParseDuration(raw)
 	if err != nil {
-		return nil, solver.Stats{Solver: c.inner.Name()}, err
+		return 0, fmt.Errorf("invalid timeout %q: %v", raw, err)
 	}
-	if src == solver.SourceSolve {
-		c.srv.metrics.solvesTotal.Add(1)
-	} else {
-		c.srv.metrics.cacheServed.Add(1)
+	if parsed <= 0 {
+		return 0, fmt.Errorf("invalid timeout %q: must be positive", raw)
 	}
-	return ev.Schedule, ev.Stats, nil
-}
-
-// requestTimeout resolves a request-supplied duration string against the
-// server's default and maximum.
-func (s *Server) requestTimeout(raw string) (time.Duration, error) {
-	d := s.cfg.DefaultTimeout
-	if raw != "" {
-		parsed, err := time.ParseDuration(raw)
-		if err != nil {
-			return 0, fmt.Errorf("invalid timeout %q: %v", raw, err)
-		}
-		if parsed <= 0 {
-			return 0, fmt.Errorf("invalid timeout %q: must be positive", raw)
-		}
-		d = parsed
-	}
-	if d > s.cfg.MaxTimeout {
-		d = s.cfg.MaxTimeout
-	}
-	return d, nil
-}
-
-// resolveSolver maps the optional request solver name to a registry entry.
-func (s *Server) resolveSolver(name string) (string, solver.Solver, error) {
-	if name == "" {
-		name = s.cfg.DefaultSolver
-	}
-	sv, err := s.cfg.Registry.New(name)
-	return name, sv, err
+	return parsed, nil
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -248,55 +203,45 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	name, sv, err := s.resolveSolver(req.Solver)
+	name, err := s.eng.ResolveSolver(req.Solver)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	timeout, err := s.requestTimeout(req.Timeout)
+	timeout, err := requestTimeout(req.Timeout)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
 
-	fp := req.Instance.Fingerprint()
-	var (
-		ev  *solver.Evaluation
-		src solver.Source
-	)
-	if s.cfg.Cache != nil {
-		ev, src, err = s.cfg.Cache.EvaluateWithFingerprint(ctx, limited{inner: sv, srv: s}, req.Instance, fp)
-	} else {
-		src = solver.SourceSolve
-		ev, err = solver.Evaluate(ctx, limited{inner: sv, srv: s}, req.Instance)
-	}
+	res, err := s.eng.Solve(r.Context(), engine.Request{
+		Solver:   name,
+		Instance: req.Instance,
+		Timeout:  timeout,
+	})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			s.metrics.deadlineExpired.Add(1)
-			s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("solve exceeded its %s deadline", timeout))
+			s.fail(w, http.StatusGatewayTimeout,
+				fmt.Errorf("solve exceeded its %s deadline", s.eng.Limits().Resolve(timeout)))
 			return
 		}
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	if src == solver.SourceSolve {
-		s.metrics.solvesTotal.Add(1)
-	} else {
-		s.metrics.cacheServed.Add(1)
-	}
+	ev := res.Evaluation
 	resp := SolveResponse{
 		Solver:      name,
 		Algorithm:   ev.Algorithm,
-		Source:      string(src),
-		Fingerprint: fp.String(),
+		Source:      string(res.Source),
+		Fingerprint: res.Fingerprint.String(),
 		Makespan:    ev.Makespan,
 		LowerBound:  ev.LowerBound,
 		Ratio:       ev.Ratio,
 		Wasted:      ev.Wasted,
 		Properties:  ev.Properties.String(),
 		ElapsedMS:   float64(ev.Stats.Elapsed) / float64(time.Millisecond),
+		Telemetry:   &res.Telemetry,
 	}
 	if req.IncludeSchedule {
 		resp.Schedule = ev.Schedule
@@ -329,36 +274,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	name, _, err := s.resolveSolver(req.Solver)
+	name, err := s.eng.ResolveSolver(req.Solver)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	timeout, err := s.requestTimeout(req.Timeout)
+	timeout, err := requestTimeout(req.Timeout)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	s.metrics.batchInstances.Add(uint64(len(req.Instances)))
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	// One deadline bounds the whole batch; the engine then runs each shard
+	// with NoDeadline under this context, and every shard's actual solve
+	// acquires the same global admission semaphore as the single-solve path
+	// and the job workers.
+	ctx, cancel := context.WithTimeout(r.Context(), s.eng.Limits().Resolve(timeout))
 	defer cancel()
-
-	// Fan out through ParallelEach; the limited wrapper keeps the batch
-	// inside the same global solve budget as the single-solve path (the
-	// worker count only bounds per-request parallelism), and the cached
-	// wrapper deduplicates against the memo cache when one is configured.
-	newSolver := func() solver.Solver {
-		sv, err := s.cfg.Registry.New(name)
-		if err != nil {
-			panic(err) // unreachable: name validated above
-		}
-		var out solver.Solver = limited{inner: sv, srv: s}
-		if s.cfg.Cache != nil {
-			out = cached{inner: out, srv: s}
-		}
-		return out
-	}
-	outcomes := solver.ParallelEach(ctx, newSolver, req.Instances, s.cfg.MaxConcurrent)
+	outcomes := s.eng.SolveEach(ctx, name, req.Instances, s.eng.MaxConcurrent())
 
 	resp := BatchResponse{Solver: name, Count: len(outcomes), Results: make([]BatchResult, len(outcomes))}
 	for i, out := range outcomes {
@@ -373,13 +306,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			res.Error = out.Err.Error()
 		default:
 			resp.Solved++
-			res.Makespan = out.Makespan
-			res.Wasted = out.Wasted
-			res.Algorithm = out.Stats.Solver
-			res.ElapsedMS = float64(out.Stats.Elapsed) / float64(time.Millisecond)
-			if s.cfg.Cache == nil {
-				s.metrics.solvesTotal.Add(1) // cached wrapper counts otherwise
-			}
+			ev := out.Result.Evaluation
+			res.Makespan = ev.Makespan
+			res.Wasted = ev.Wasted
+			res.Algorithm = ev.Stats.Solver
+			res.Source = string(out.Result.Source)
+			res.ElapsedMS = float64(ev.Stats.Elapsed) / float64(time.Millisecond)
+			res.Telemetry = &out.Result.Telemetry
 		}
 		resp.Results[i] = res
 	}
@@ -390,8 +323,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requestsOther.Add(1)
 	s.respond(w, http.StatusOK, SolversResponse{
-		Solvers: s.cfg.Registry.Names(),
-		Default: s.cfg.DefaultSolver,
+		Solvers: s.eng.Registry().Names(),
+		Default: s.eng.DefaultSolver(),
 	})
 }
 
@@ -407,7 +340,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requestsOther.Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, s.cfg.Cache, s.cfg.Jobs, time.Since(s.started))
+	s.metrics.write(w, s.eng, s.cfg.Jobs, time.Since(s.started))
 }
 
 // decode reads the JSON request body into dst, bounding its size and

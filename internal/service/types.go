@@ -2,6 +2,7 @@ package service
 
 import (
 	"crsharing/internal/core"
+	"crsharing/internal/engine"
 	"crsharing/internal/jobs"
 )
 
@@ -45,6 +46,10 @@ type SolveResponse struct {
 	// original solve's duration — consult Source for this request's own
 	// cost.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Telemetry is the engine's structured account of this solve: search
+	// nodes and incumbents, admission queueing, the lower bound that anchors
+	// Ratio, and the schedule shape.
+	Telemetry *engine.Telemetry `json:"telemetry,omitempty"`
 	// Schedule is present only when the request set include_schedule.
 	Schedule *core.Schedule `json:"schedule,omitempty"`
 }
@@ -63,7 +68,12 @@ type BatchResult struct {
 	Makespan  int     `json:"makespan,omitempty"`
 	Wasted    float64 `json:"wasted,omitempty"`
 	Algorithm string  `json:"algorithm,omitempty"`
+	// Source reports how this instance's result was obtained ("solve",
+	// "cache" or "coalesced"), like the single-solve response does.
+	Source    string  `json:"source,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Telemetry is the engine's structured account of this instance's solve.
+	Telemetry *engine.Telemetry `json:"telemetry,omitempty"`
 	// Error is set for failed instances; Cancelled additionally marks
 	// instances that were never attempted because the batch deadline had
 	// already expired.

@@ -44,6 +44,7 @@ type memberResult struct {
 	makespan int
 	wasted   float64
 	elapsed  time.Duration
+	stats    Stats
 	err      error
 }
 
@@ -73,6 +74,10 @@ func (p *Portfolio) Solve(ctx context.Context, inst *core.Instance) (*core.Sched
 	// same observer via cctx.
 	var bestSeen atomic.Int64
 	bestSeen.Store(math.MaxInt64)
+	// ownReports counts the race-level incumbent improvements the portfolio
+	// itself announces (member nodes/incumbents are read off the member
+	// stats), so Stats.Incumbents covers both levels.
+	var ownReports atomic.Int64
 
 	results := make([]memberResult, len(p.Members))
 	var wg sync.WaitGroup
@@ -81,8 +86,8 @@ func (p *Portfolio) Solve(ctx context.Context, inst *core.Instance) (*core.Sched
 		go func(idx int, member Solver) {
 			defer wg.Done()
 			mstart := time.Now()
-			sched, _, err := member.Solve(cctx, inst)
-			r := memberResult{elapsed: time.Since(mstart), err: err}
+			sched, mstats, err := member.Solve(cctx, inst)
+			r := memberResult{elapsed: time.Since(mstart), stats: mstats, err: err}
 			if err == nil {
 				res, execErr := core.Execute(inst, sched)
 				switch {
@@ -104,6 +109,7 @@ func (p *Portfolio) Solve(ctx context.Context, inst *core.Instance) (*core.Sched
 						break
 					}
 					if bestSeen.CompareAndSwap(cur, int64(r.makespan)) {
+						ownReports.Add(1)
 						progress.Report(ctx, progress.Incumbent{Solver: member.Name(), Makespan: r.makespan})
 						break
 					}
@@ -116,7 +122,7 @@ func (p *Portfolio) Solve(ctx context.Context, inst *core.Instance) (*core.Sched
 	}
 	wg.Wait()
 
-	stats := Stats{Solver: p.Name(), Candidates: make([]Candidate, len(p.Members))}
+	stats := Stats{Solver: p.Name(), Incumbents: ownReports.Load(), Candidates: make([]Candidate, len(p.Members))}
 	bestIdx := -1
 	for idx, r := range results {
 		stats.Candidates[idx] = Candidate{
@@ -124,8 +130,11 @@ func (p *Portfolio) Solve(ctx context.Context, inst *core.Instance) (*core.Sched
 			Makespan: r.makespan,
 			Wasted:   r.wasted,
 			Elapsed:  r.elapsed,
+			Nodes:    r.stats.Nodes,
 			Err:      r.err,
 		}
+		stats.Nodes += r.stats.Nodes
+		stats.Incumbents += r.stats.Incumbents
 		if r.err != nil {
 			continue
 		}

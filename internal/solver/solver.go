@@ -19,6 +19,7 @@ import (
 
 	"crsharing/internal/algo"
 	"crsharing/internal/core"
+	"crsharing/internal/progress"
 )
 
 // Stats carries bookkeeping about one Solve call.
@@ -28,6 +29,13 @@ type Stats struct {
 	Solver string
 	// Elapsed is the wall-clock duration of the Solve call.
 	Elapsed time.Duration
+	// Nodes counts the search nodes (branch-and-bound) or configurations
+	// (enumeration algorithms) the solve explored, summed over every nested
+	// kernel; it is zero for the polynomial-time heuristics. The kernels
+	// report through internal/progress counters installed by the adapter.
+	Nodes int64
+	// Incumbents counts the improving solutions reported while the solve ran.
+	Incumbents int64
 	// Candidates records the per-member outcomes of a portfolio run; it is
 	// empty for plain solvers.
 	Candidates []Candidate
@@ -39,6 +47,7 @@ type Candidate struct {
 	Makespan int
 	Wasted   float64
 	Elapsed  time.Duration
+	Nodes    int64
 	Err      error
 }
 
@@ -86,6 +95,13 @@ func (a *adapted) IsExact() bool {
 
 func (a *adapted) Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, Stats, error) {
 	start := time.Now()
+	// Fresh counters per solve: the kernels report explored nodes and
+	// incumbents through the context, and the counts land in the returned
+	// Stats (and from there in cached evaluations and telemetry). Any
+	// counters already attached by an outer adapter are shadowed on purpose —
+	// each adapter accounts exactly for its own solve.
+	ctr := &progress.Counters{}
+	ctx = progress.WithCounters(ctx, ctr)
 	var sched *core.Schedule
 	var err error
 	if cs, ok := a.s.(ContextScheduler); ok {
@@ -96,7 +112,12 @@ func (a *adapted) Solve(ctx context.Context, inst *core.Instance) (*core.Schedul
 		}
 		sched, err = a.s.Schedule(inst)
 	}
-	st := Stats{Solver: a.s.Name(), Elapsed: time.Since(start)}
+	st := Stats{
+		Solver:     a.s.Name(),
+		Elapsed:    time.Since(start),
+		Nodes:      ctr.Nodes.Load(),
+		Incumbents: ctr.Incumbents.Load(),
+	}
 	if err != nil {
 		return nil, st, fmt.Errorf("%s: %w", a.s.Name(), err)
 	}
