@@ -1,0 +1,100 @@
+// Command benchdiff compares two `go test -json` benchmark runs and exits
+// non-zero when the new run regresses: median ns/op worse than the baseline
+// by more than -tolerance, or any increase in median allocs/op, on the
+// benchmarks matching -filter. It is the CI benchmark-regression gate: the
+// workflow restores the previous run's BENCH_core.json as the baseline and
+// feeds it the fresh one.
+//
+// A missing baseline is not an error (the first run of a branch has nothing
+// to compare against): benchdiff prints a notice and exits 0, and the
+// workflow saves the fresh run as the next baseline.
+//
+//	benchdiff -old BENCH_baseline.json -new BENCH_core.json \
+//	    -filter 'BranchBound|WideManyProc|HardExact' -tolerance 0.10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"crsharing/internal/benchcmp"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline go test -json benchmark output")
+	newPath := flag.String("new", "", "fresh go test -json benchmark output")
+	filterExpr := flag.String("filter", "", "regexp selecting the gated benchmarks (matched against package.Benchmark; empty = all)")
+	skipNsExpr := flag.String("skip-ns", "", "regexp of benchmarks exempt from the ns/op gate (allocs/op still gated); for parallel kernels whose wall-clock is not comparable across shared runners")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op growth before failing")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+
+	compileFlag := func(name, expr string) *regexp.Regexp {
+		if expr == "" {
+			return nil
+		}
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -%s: %v\n", name, err)
+			os.Exit(2)
+		}
+		return re
+	}
+	filter := compileFlag("filter", *filterExpr)
+	skipNs := compileFlag("skip-ns", *skipNsExpr)
+
+	oldRun, ok := load(*oldPath)
+	if !ok {
+		fmt.Printf("benchdiff: no baseline at %q; nothing to compare against\n", *oldPath)
+		return
+	}
+	newRun, ok := load(*newPath)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchdiff: cannot read %q\n", *newPath)
+		os.Exit(2)
+	}
+
+	regs := benchcmp.Compare(oldRun, newRun, benchcmp.Options{Filter: filter, Tolerance: *tolerance, SkipNs: skipNs})
+	missing := benchcmp.Missing(oldRun, newRun, filter)
+	compared := 0
+	for key := range newRun {
+		if _, ok := oldRun[key]; ok && (filter == nil || filter.MatchString(key.String())) {
+			compared++
+		}
+	}
+	fmt.Printf("benchdiff: %d benchmarks compared (tolerance %.0f%% ns/op, zero allocs/op growth)\n",
+		compared, 100**tolerance)
+	for _, key := range missing {
+		fmt.Printf("  missing from new run: %s\n", key)
+	}
+	for _, r := range regs {
+		fmt.Printf("  REGRESSION %s\n", r)
+	}
+	if len(regs) > 0 || len(missing) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+// load parses one benchmark stream; ok is false when the file is absent or
+// unreadable.
+func load(path string) (map[benchcmp.Key]*benchcmp.Samples, bool) {
+	if path == "" {
+		return nil, false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	run, err := benchcmp.ParseStream(f)
+	if err != nil {
+		return nil, false
+	}
+	return run, true
+}

@@ -203,7 +203,7 @@ func runBatch(ctx context.Context, eng *engine.Engine, algoName string, data []b
 			tel := out.Result.Telemetry
 			stats := out.Result.Evaluation.Stats
 			fmt.Printf("#%-3d makespan=%-4d waste=%.4f solver=%s nodes=%d in %s\n",
-				out.Index, tel.Makespan, tel.Wasted, stats.Solver, tel.Nodes,
+				out.Index, tel.Makespan, tel.Wasted, out.Result.Evaluation.Algorithm, tel.Nodes,
 				stats.Elapsed.Round(time.Microsecond))
 		}
 	}

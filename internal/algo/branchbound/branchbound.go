@@ -6,14 +6,19 @@
 // the paper; it exists as a practically faster exact solver for mid-size
 // instances and as a third, independently implemented optimum oracle for the
 // test suite.
+//
+// Both solvers run on pooled scratch memory (see scratch.go): the search path
+// is an explicit stack truncated on backtrack, successors live in flat
+// per-depth buffers, and the visited set is an open-addressing table over a
+// byte arena, so a steady-state solve allocates nothing per node. States that
+// differ only by permuting processors with identical job sequences share one
+// canonical visited key (symmetry breaking), which collapses the symmetric
+// copies of every subtree.
 package branchbound
 
 import (
 	"context"
 	"fmt"
-	"math"
-	"strconv"
-	"strings"
 
 	"crsharing/internal/algo/greedybalance"
 	"crsharing/internal/core"
@@ -40,29 +45,14 @@ func (s *Scheduler) Name() string { return "branch-and-bound" }
 // IsExact marks the scheduler as exact.
 func (s *Scheduler) IsExact() bool { return true }
 
-type state struct {
-	done []int
-	rem  []float64
-}
-
-func (st *state) key() string {
-	var b strings.Builder
-	for i := range st.done {
-		b.WriteString(strconv.Itoa(st.done[i]))
-		b.WriteByte(':')
-		b.WriteString(strconv.FormatInt(int64(math.Round(st.rem[i]*1e9)), 36))
-		b.WriteByte('|')
-	}
-	return b.String()
-}
-
 type solver struct {
 	ctx       context.Context
 	inst      *core.Instance
+	name      string
 	suffix    suffixWork
+	sc        *searchScratch
 	best      int         // incumbent makespan
-	bestMoves [][]float64 // allocation rows of the incumbent
-	visited   map[string]int
+	bestMoves [][]float64 // allocation rows of the incumbent (owned deep copies)
 	nodes     int
 	maxNodes  int
 }
@@ -105,12 +95,15 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, inst *core.Instance) (*
 		return nil, fmt.Errorf("branchbound: internal error: incumbent schedule incomplete")
 	}
 
+	sc := getScratch(inst)
+	defer putScratch(sc)
 	sv := &solver{
 		ctx:      ctx,
 		inst:     inst,
+		name:     s.Name(),
 		suffix:   newSuffixWork(inst),
+		sc:       sc,
 		best:     gbRes.Makespan(),
-		visited:  make(map[string]int),
 		maxNodes: s.MaxNodes,
 	}
 	if sv.maxNodes <= 0 {
@@ -121,12 +114,9 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, inst *core.Instance) (*
 	// feasible bound even before the search improves on it.
 	progress.Report(ctx, progress.Incumbent{Solver: s.Name(), Makespan: sv.best})
 
-	root := &state{done: make([]int, inst.NumProcessors()), rem: make([]float64, inst.NumProcessors())}
-	for i := 0; i < inst.NumProcessors(); i++ {
-		root.rem[i] = work(inst, i, 0)
-	}
-	err = sv.search(root, 0, nil)
+	err = sv.search(sc.rootDone, sc.rootRem, 0)
 	progress.AddNodes(ctx, int64(sv.nodes))
+	progress.AddAllocs(ctx, sc.allocs)
 	if err != nil {
 		return nil, err
 	}
@@ -180,31 +170,32 @@ func newSuffixWork(inst *core.Instance) suffixWork {
 }
 
 // lowerBound returns a lower bound on the number of additional steps needed
-// from the state: the maximum of the remaining chain length and the ceiling
-// of the remaining aggregate work (read off the precomputed suffix table).
-// It is shared by the serial and the parallel solver.
-func lowerBound(inst *core.Instance, suffix suffixWork, st *state) int {
+// from the state (done, rem): the maximum of the remaining chain length and
+// the ceiling of the remaining aggregate work (read off the precomputed
+// suffix table). It is shared by the serial and the parallel solver.
+func lowerBound(inst *core.Instance, suffix suffixWork, done []int, rem []float64) int {
 	chain := 0
 	var workSum float64
 	for i := 0; i < inst.NumProcessors(); i++ {
-		remaining := inst.NumJobs(i) - st.done[i]
+		remaining := inst.NumJobs(i) - done[i]
 		if remaining > chain {
 			chain = remaining
 		}
 		if remaining > 0 {
-			workSum += st.rem[i] + suffix[i][st.done[i]+1]
+			workSum += rem[i] + suffix[i][done[i]+1]
 		}
 	}
-	workBound := int(math.Ceil(workSum - numeric.Eps))
+	workBound := numeric.CeilTol(workSum)
 	if workBound > chain {
 		return workBound
 	}
 	return chain
 }
 
-// search explores the state at the given depth; moves holds the allocation
-// rows of the path so far.
-func (sv *solver) search(st *state, depth int, moves [][]float64) error {
+// search explores the state (done, rem) at the given depth. The rows of the
+// path so far live in the scratch path stack; done and rem alias the parent
+// depth's successor buffer, which stays valid for the whole call.
+func (sv *solver) search(done []int, rem []float64, depth int) error {
 	sv.nodes++
 	if sv.nodes > sv.maxNodes {
 		return fmt.Errorf("branchbound: node limit of %d exceeded", sv.maxNodes)
@@ -217,8 +208,8 @@ func (sv *solver) search(st *state, depth int, moves [][]float64) error {
 		}
 	}
 	finished := true
-	for i := range st.done {
-		if st.done[i] < sv.inst.NumJobs(i) {
+	for i := range done {
+		if done[i] < sv.inst.NumJobs(i) {
 			finished = false
 			break
 		}
@@ -226,120 +217,121 @@ func (sv *solver) search(st *state, depth int, moves [][]float64) error {
 	if finished {
 		if depth < sv.best {
 			sv.best = depth
-			sv.bestMoves = append([][]float64(nil), moves...)
-			progress.Report(sv.ctx, progress.Incumbent{Solver: "branch-and-bound", Makespan: depth})
+			sv.copyIncumbent(depth)
+			progress.Report(sv.ctx, progress.Incumbent{Solver: sv.name, Makespan: depth})
 		}
 		return nil
 	}
-	if depth+lowerBound(sv.inst, sv.suffix, st) >= sv.best {
+	if depth+lowerBound(sv.inst, sv.suffix, done, rem) >= sv.best {
 		return nil // cannot improve on the incumbent
 	}
-	key := st.key()
-	if prev, ok := sv.visited[key]; ok && prev <= depth {
-		return nil // reached the same state earlier (or equally early) before
+	if sv.sc.visited.visit(sv.sc.stateKey(done, rem), depth, &sv.sc.allocs) {
+		return nil // reached the same state (up to symmetry) at least as early before
 	}
-	sv.visited[key] = depth
 
-	succ := expand(sv.inst, st)
-	for _, next := range succ {
-		if err := sv.search(next.state, depth+1, append(moves, next.alloc)); err != nil {
+	buf := sv.sc.level(depth)
+	expandInto(sv.inst, sv.sc, done, rem, buf)
+	for oi := 0; oi < buf.n; oi++ {
+		i := buf.ord[oi]
+		sv.sc.pathRow(depth, buf.allocRow(i))
+		if err := sv.search(buf.doneRow(i), buf.remRow(i), depth+1); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-type move struct {
-	state *state
-	alloc []float64
+// copyIncumbent deep-copies the first depth rows of the scratch path stack
+// into bestMoves. The incumbent only ever shrinks (depth < sv.best before
+// every call), so the rows of the initial greedy incumbent are reused and the
+// copy allocates nothing.
+func (sv *solver) copyIncumbent(depth int) {
+	sv.bestMoves = sv.bestMoves[:depth]
+	for t := 0; t < depth; t++ {
+		copy(sv.bestMoves[t], sv.sc.path[t])
+	}
 }
 
-// expand enumerates the non-wasting, progressive one-step moves from a state,
-// ordered so that moves finishing more jobs come first (good incumbent
-// updates early make the bound prune more). It is shared by the serial and
-// the parallel solver; it only reads the instance and the state.
-func expand(inst *core.Instance, st *state) []move {
+// expandInto enumerates the non-wasting, progressive one-step moves from the
+// state (done, rem) into buf, ordered so that moves finishing more jobs come
+// first (good incumbent updates early make the bound prune more). The
+// enumeration and its ordering are exactly those of the original
+// allocation-per-move implementation; only the storage changed. It is shared
+// by the serial and the parallel solver.
+func expandInto(inst *core.Instance, sc *searchScratch, done []int, rem []float64, buf *expandBuf) {
 	m := inst.NumProcessors()
-	var active []int
+	buf.reset(m)
+	active := sc.active[:0]
+	base := 0
 	var total float64
 	for i := 0; i < m; i++ {
-		if st.done[i] < inst.NumJobs(i) {
+		base += done[i]
+		if done[i] < inst.NumJobs(i) {
+			if cap(active) == len(active) {
+				sc.allocs++
+			}
 			active = append(active, i)
-			total += st.rem[i]
+			total += rem[i]
 		}
 	}
-	derive := func(finish []int, partial int, amount float64) move {
-		ns := &state{done: append([]int(nil), st.done...), rem: append([]float64(nil), st.rem...)}
-		alloc := make([]float64, m)
-		for _, i := range finish {
-			alloc[i] = st.rem[i]
-			ns.done[i]++
-			ns.rem[i] = work(inst, i, ns.done[i])
-		}
-		if partial >= 0 {
-			alloc[partial] = amount
-			ns.rem[partial] -= amount
-			if ns.rem[partial] < 0 {
-				ns.rem[partial] = 0
+	sc.active = active
+	k := len(active)
+
+	derive := func(finishMask int, partial int, amount float64) {
+		idx := buf.add(&sc.allocs)
+		d, r, a := buf.doneRow(idx), buf.remRow(idx), buf.allocRow(idx)
+		copy(d, done)
+		copy(r, rem)
+		cnt := base
+		for bit := 0; bit < k; bit++ {
+			if finishMask&(1<<bit) != 0 {
+				i := active[bit]
+				a[i] = rem[i]
+				d[i]++
+				r[i] = work(inst, i, d[i])
+				cnt++
 			}
 		}
-		return move{state: ns, alloc: alloc}
+		if partial >= 0 {
+			a[partial] = amount
+			r[partial] -= amount
+			if r[partial] < 0 {
+				r[partial] = 0
+			}
+		}
+		buf.cnt[idx] = cnt
 	}
 
 	if numeric.Leq(total, 1) {
-		return []move{derive(active, -1, 0)}
+		derive(1<<k-1, -1, 0)
+		buf.order(&sc.allocs)
+		return
 	}
 
-	var out []move
-	k := len(active)
 	for mask := 1; mask < 1<<k; mask++ {
-		var finish []int
 		var sum float64
 		for bit := 0; bit < k; bit++ {
 			if mask&(1<<bit) != 0 {
-				finish = append(finish, active[bit])
-				sum += st.rem[active[bit]]
+				sum += rem[active[bit]]
 			}
 		}
 		if numeric.Greater(sum, 1) {
 			continue
 		}
 		leftover := 1 - sum
-		if leftover <= numeric.Eps {
-			out = append(out, derive(finish, -1, 0))
+		if numeric.Leq(leftover, 0) {
+			derive(mask, -1, 0)
 			continue
 		}
-		for _, p := range active {
-			if containsInt(finish, p) || !numeric.Greater(st.rem[p], leftover) {
+		for bit := 0; bit < k; bit++ {
+			p := active[bit]
+			if mask&(1<<bit) != 0 || !numeric.Greater(rem[p], leftover) {
 				continue
 			}
-			out = append(out, derive(finish, p, leftover))
+			derive(mask, p, leftover)
 		}
 	}
-	// Order: more finished jobs first (simple insertion sort on the count of
-	// completed jobs in the successor).
-	doneCount := func(mv move) int {
-		c := 0
-		for i := range mv.state.done {
-			c += mv.state.done[i]
-		}
-		return c
-	}
-	for a := 1; a < len(out); a++ {
-		for b := a; b > 0 && doneCount(out[b]) > doneCount(out[b-1]); b-- {
-			out[b], out[b-1] = out[b-1], out[b]
-		}
-	}
-	return out
-}
-
-func containsInt(xs []int, x int) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
+	buf.order(&sc.allocs)
 }
 
 func allocRows(s *core.Schedule) [][]float64 {

@@ -20,7 +20,9 @@ import (
 // pruning of every other. Work is distributed through a bounded queue:
 // workers offload one successor subtree whenever the queue has room and
 // otherwise recurse locally, which keeps all cores busy without unbounded
-// task inflation.
+// task inflation. Each worker searches on its own pooled scratch (path
+// stack, successor buffers, visited table), so steady-state exploration
+// allocates only when a subtree is handed off.
 type ParallelScheduler struct {
 	// Workers is the pool size (0 = GOMAXPROCS).
 	Workers int
@@ -44,8 +46,11 @@ func (s *ParallelScheduler) Schedule(inst *core.Instance) (*core.Schedule, error
 }
 
 // task is one independent subtree: a state plus the path that reached it.
+// Every slice is owned by the task — rows are deep copies, never aliases of
+// a worker's scratch — so tasks can cross goroutines safely.
 type task struct {
-	st    *state
+	done  []int
+	rem   []float64
 	depth int
 	moves [][]float64
 }
@@ -53,15 +58,18 @@ type task struct {
 // shared is the state visible to every worker.
 type shared struct {
 	inst     *core.Instance
+	name     string
 	suffix   suffixWork
 	best     atomic.Int64 // incumbent makespan
 	nodes    atomic.Int64 // total explored nodes
+	allocs   atomic.Int64 // scratch-growth and handoff allocation events
 	maxNodes int64
 
 	mu        sync.Mutex  // guards bestMoves
-	bestMoves [][]float64 // allocation rows of the incumbent
+	bestMoves [][]float64 // allocation rows of the incumbent (owned deep copies)
 
 	queue     chan task
+	hungry    int          // offload watermark: hand off only when len(queue) is below it
 	pending   atomic.Int64 // queued + in-flight tasks
 	closeOnce sync.Once
 
@@ -104,6 +112,7 @@ func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Inst
 	}
 	sh := &shared{
 		inst:      inst,
+		name:      s.Name(),
 		suffix:    newSuffixWork(inst),
 		bestMoves: allocRows(gbSched),
 		maxNodes:  int64(s.MaxNodes),
@@ -116,39 +125,52 @@ func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Inst
 	// feasible bound even before the search improves on it.
 	progress.Report(ctx, progress.Incumbent{Solver: s.Name(), Makespan: gbRes.Makespan()})
 
-	root := &state{done: make([]int, inst.NumProcessors()), rem: make([]float64, inst.NumProcessors())}
-	for i := 0; i < inst.NumProcessors(); i++ {
-		root.rem[i] = work(inst, i, 0)
-	}
-
 	// Seed the frontier breadth-first until there is enough fan-out to keep
 	// the pool busy. Small instances may be solved entirely during seeding;
 	// seeded expansions count as explored nodes so telemetry stays non-zero
 	// even then.
-	frontier := []task{{st: root, depth: 0}}
+	seedSc := getScratch(inst)
+	frontier := []task{{
+		done: append([]int(nil), seedSc.rootDone...),
+		rem:  append([]float64(nil), seedSc.rootRem...),
+	}}
 	var seeded int64
 	for len(frontier) > 0 && len(frontier) < workers*4 {
 		t := frontier[0]
 		frontier = frontier[1:]
 		seeded++
-		if isFinished(inst, t.st) {
+		if isFinished(inst, t.done) {
 			sh.offerSolution(ctx, t.depth, t.moves)
 			continue
 		}
-		if int64(t.depth+lowerBound(inst, sh.suffix, t.st)) >= sh.best.Load() {
+		if int64(t.depth+lowerBound(inst, sh.suffix, t.done, t.rem)) >= sh.best.Load() {
 			continue
 		}
-		for _, next := range expand(inst, t.st) {
-			moves := append(append([][]float64(nil), t.moves...), next.alloc)
-			frontier = append(frontier, task{st: next.state, depth: t.depth + 1, moves: moves})
+		buf := seedSc.level(0)
+		expandInto(inst, seedSc, t.done, t.rem, buf)
+		for oi := 0; oi < buf.n; oi++ {
+			i := buf.ord[oi]
+			moves := make([][]float64, t.depth+1)
+			copy(moves, t.moves)
+			moves[t.depth] = append([]float64(nil), buf.allocRow(i)...)
+			frontier = append(frontier, task{
+				done:  append([]int(nil), buf.doneRow(i)...),
+				rem:   append([]float64(nil), buf.remRow(i)...),
+				depth: t.depth + 1,
+				moves: moves,
+			})
 		}
 	}
+	sh.allocs.Add(seedSc.allocs)
+	putScratch(seedSc)
 	if len(frontier) == 0 {
 		progress.AddNodes(ctx, seeded)
+		progress.AddAllocs(ctx, sh.allocs.Load())
 		return sh.schedule(), nil
 	}
 
 	sh.queue = make(chan task, len(frontier)+workers*64)
+	sh.hungry = workers * 2
 	sh.pending.Store(int64(len(frontier)))
 	for _, t := range frontier {
 		sh.queue <- t
@@ -164,6 +186,7 @@ func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Inst
 	}
 	wg.Wait()
 	progress.AddNodes(ctx, seeded+sh.nodes.Load())
+	progress.AddAllocs(ctx, sh.allocs.Load())
 
 	if sh.failed.Load() {
 		sh.failMu.Lock()
@@ -193,9 +216,9 @@ func (s *ParallelScheduler) Makespan(inst *core.Instance) (int, error) {
 	return res.Makespan(), nil
 }
 
-func isFinished(inst *core.Instance, st *state) bool {
-	for i := range st.done {
-		if st.done[i] < inst.NumJobs(i) {
+func isFinished(inst *core.Instance, done []int) bool {
+	for i := range done {
+		if done[i] < inst.NumJobs(i) {
 			return false
 		}
 	}
@@ -204,17 +227,23 @@ func isFinished(inst *core.Instance, st *state) bool {
 
 // offerSolution installs a complete schedule of the given makespan as the
 // incumbent if it improves on the current one, reporting the improvement to
-// the context's progress observer.
+// the context's progress observer. The rows are copied under the lock, so
+// callers may pass rows that alias their scratch.
 func (sh *shared) offerSolution(ctx context.Context, depth int, moves [][]float64) {
 	sh.mu.Lock()
 	improved := int64(depth) < sh.best.Load()
 	if improved {
 		sh.best.Store(int64(depth))
-		sh.bestMoves = append([][]float64(nil), moves...)
+		// The incumbent only ever shrinks (the greedy seed rows are the
+		// longest), so truncate and reuse the existing rows.
+		sh.bestMoves = sh.bestMoves[:depth]
+		for t := 0; t < depth; t++ {
+			copy(sh.bestMoves[t], moves[t])
+		}
 	}
 	sh.mu.Unlock()
 	if improved {
-		progress.Report(ctx, progress.Incumbent{Solver: "branch-and-bound-parallel", Makespan: depth})
+		progress.Report(ctx, progress.Incumbent{Solver: sh.name, Makespan: depth})
 	}
 }
 
@@ -241,12 +270,17 @@ func (sh *shared) fail(err error) {
 
 // worker drains tasks until the queue closes. Every drained task is counted
 // against pending even when it is skipped after a failure, so the queue is
-// guaranteed to close and no goroutine is left behind.
+// guaranteed to close and no goroutine is left behind. The worker's visited
+// table persists across the tasks it drains, exactly like the per-worker
+// map it replaces.
 func (sh *shared) worker(ctx context.Context) {
-	visited := make(map[string]int)
+	sc := getScratch(sh.inst)
 	for t := range sh.queue {
 		if !sh.failed.Load() {
-			if err := sh.dfs(ctx, t.st, t.depth, t.moves, visited); err != nil {
+			for d, row := range t.moves {
+				sc.pathRow(d, row)
+			}
+			if err := sh.dfs(ctx, sc, t.done, t.rem, t.depth); err != nil {
 				sh.fail(err)
 			}
 		}
@@ -254,11 +288,13 @@ func (sh *shared) worker(ctx context.Context) {
 			sh.closeOnce.Do(func() { close(sh.queue) })
 		}
 	}
+	sh.allocs.Add(sc.allocs)
+	putScratch(sc)
 }
 
 // dfs explores one subtree depth-first against the shared incumbent bound,
 // offloading at most one successor per node into the queue when it has room.
-func (sh *shared) dfs(ctx context.Context, st *state, depth int, moves [][]float64, visited map[string]int) error {
+func (sh *shared) dfs(ctx context.Context, sc *searchScratch, done []int, rem []float64, depth int) error {
 	n := sh.nodes.Add(1)
 	if n > sh.maxNodes {
 		return errNodeLimit
@@ -270,30 +306,39 @@ func (sh *shared) dfs(ctx context.Context, st *state, depth int, moves [][]float
 		default:
 		}
 	}
-	if isFinished(sh.inst, st) {
-		sh.offerSolution(ctx, depth, moves)
+	if isFinished(sh.inst, done) {
+		sh.offerSolution(ctx, depth, sc.path[:depth])
 		return nil
 	}
-	if int64(depth+lowerBound(sh.inst, sh.suffix, st)) >= sh.best.Load() {
+	if int64(depth+lowerBound(sh.inst, sh.suffix, done, rem)) >= sh.best.Load() {
 		return nil
 	}
-	key := st.key()
-	if prev, ok := visited[key]; ok && prev <= depth {
+	if sc.visited.visit(sc.stateKey(done, rem), depth, &sc.allocs) {
 		return nil
 	}
-	visited[key] = depth
 
-	succ := expand(sh.inst, st)
-	for i, next := range succ {
-		// Keep the most promising successor (index 0) local; offer the rest
-		// to idle workers while the bounded queue has room.
-		if i > 0 {
+	buf := sc.level(depth)
+	expandInto(sh.inst, sc, done, rem, buf)
+	for oi := 0; oi < buf.n; oi++ {
+		i := buf.ord[oi]
+		// Keep the most promising successor (order index 0) local; offer the
+		// rest to idle workers, but only while the queue is close to empty —
+		// a handoff deep-copies the whole path, so once every worker has
+		// work queued, local recursion (which allocates nothing) is cheaper
+		// than feeding an already-full queue.
+		if oi > 0 && len(sh.queue) < sh.hungry {
 			sh.pending.Add(1)
 			handoff := task{
-				st:    next.state,
+				done:  append([]int(nil), buf.doneRow(i)...),
+				rem:   append([]float64(nil), buf.remRow(i)...),
 				depth: depth + 1,
-				moves: append(append([][]float64(nil), moves...), next.alloc),
+				moves: make([][]float64, depth+1),
 			}
+			for d := 0; d < depth; d++ {
+				handoff.moves[d] = append([]float64(nil), sc.path[d]...)
+			}
+			handoff.moves[depth] = append([]float64(nil), buf.allocRow(i)...)
+			sc.allocs++
 			select {
 			case sh.queue <- handoff:
 				continue
@@ -301,7 +346,8 @@ func (sh *shared) dfs(ctx context.Context, st *state, depth int, moves [][]float
 				sh.pending.Add(-1)
 			}
 		}
-		if err := sh.dfs(ctx, next.state, depth+1, append(moves, next.alloc), visited); err != nil {
+		sc.pathRow(depth, buf.allocRow(i))
+		if err := sh.dfs(ctx, sc, buf.doneRow(i), buf.remRow(i), depth+1); err != nil {
 			return err
 		}
 	}

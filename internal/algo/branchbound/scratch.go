@@ -1,0 +1,369 @@
+package branchbound
+
+import (
+	"bytes"
+	"math"
+	"sync"
+
+	"crsharing/internal/core"
+)
+
+// searchScratch bundles every reusable buffer one branch-and-bound search
+// needs: the explicit path stack, the per-depth successor buffers, the
+// open-addressing visited table with its byte-key arena, and the symmetry
+// grouping of identical processors. Scratches are pooled so a steady-state
+// solve performs no heap allocations on the search path; the scratch counts
+// its own growth events in allocs, which the solvers report through
+// progress.AddAllocs.
+type searchScratch struct {
+	m int // processor width the buffers are currently sized for
+
+	// path holds, per depth, the allocation row chosen at that depth. Rows
+	// alias the per-depth expand buffers, which are stable while their
+	// depth's successor loop is active; the incumbent installers deep-copy
+	// them, so nothing outlives the scratch.
+	path [][]float64
+
+	// levels holds one successor buffer per search depth. A buffer at depth
+	// d is only mutated while depth d is being expanded, never by the deeper
+	// recursion, so the rows it hands out stay valid for the whole loop.
+	levels []*expandBuf
+
+	visited visitedTable
+
+	// Symmetry breaking: groupRep[i] is the lowest-numbered processor whose
+	// job sequence is identical to processor i's (i itself when unique).
+	// States that agree up to permuting processors within one group encode
+	// to the same canonical visited key, so the visited prune collapses the
+	// symmetric copies of every subtree.
+	groupRep []int
+	hasSym   bool
+
+	active []int   // scratch for the active-processor list during expand
+	keyBuf []byte  // scratch for the canonical state key
+	pairD  []int   // scratch (done half) for sorting one symmetry group
+	pairR  []int64 // scratch (rounded-rem half) for the same
+
+	rootDone []int
+	rootRem  []float64
+
+	allocs int64 // heap-growth events recorded during the current solve
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// getScratch returns a pooled scratch prepared for the instance.
+func getScratch(inst *core.Instance) *searchScratch {
+	sc := scratchPool.Get().(*searchScratch)
+	sc.prepare(inst)
+	return sc
+}
+
+func putScratch(sc *searchScratch) { scratchPool.Put(sc) }
+
+// prepare sizes the scratch for the instance and resets all per-solve state.
+func (sc *searchScratch) prepare(inst *core.Instance) {
+	m := inst.NumProcessors()
+	sc.m = m
+	sc.allocs = 0
+	sc.rootDone = resizeInts(sc.rootDone, m, &sc.allocs)
+	sc.rootRem = resizeFloats(sc.rootRem, m, &sc.allocs)
+	for i := 0; i < m; i++ {
+		sc.rootDone[i] = 0
+		sc.rootRem[i] = work(inst, i, 0)
+	}
+	sc.computeGroups(inst)
+	sc.visited.reset(&sc.allocs)
+}
+
+// pathRow records row as the allocation chosen at the given depth.
+func (sc *searchScratch) pathRow(depth int, row []float64) {
+	for len(sc.path) <= depth {
+		if cap(sc.path) == len(sc.path) {
+			sc.allocs++
+		}
+		sc.path = append(sc.path, nil)
+	}
+	sc.path[depth] = row
+}
+
+// level returns the successor buffer for the given depth, growing the ladder
+// on first descent.
+func (sc *searchScratch) level(depth int) *expandBuf {
+	for len(sc.levels) <= depth {
+		if cap(sc.levels) == len(sc.levels) {
+			sc.allocs++
+		}
+		sc.levels = append(sc.levels, new(expandBuf))
+	}
+	return sc.levels[depth]
+}
+
+// computeGroups partitions the processors into groups with exactly identical
+// job sequences. Quadratic in m, run once per solve; m is small.
+func (sc *searchScratch) computeGroups(inst *core.Instance) {
+	m := inst.NumProcessors()
+	sc.groupRep = resizeInts(sc.groupRep, m, &sc.allocs)
+	sc.hasSym = false
+	for i := 0; i < m; i++ {
+		sc.groupRep[i] = i
+		for j := 0; j < i; j++ {
+			if sc.groupRep[j] == j && sameJobs(inst, i, j) {
+				sc.groupRep[i] = j
+				sc.hasSym = true
+				break
+			}
+		}
+	}
+}
+
+func sameJobs(inst *core.Instance, a, b int) bool {
+	if inst.NumJobs(a) != inst.NumJobs(b) {
+		return false
+	}
+	for j := 0; j < inst.NumJobs(a); j++ {
+		ja, jb := inst.Job(a, j), inst.Job(b, j)
+		if ja.Req != jb.Req || ja.Size != jb.Size {
+			return false
+		}
+	}
+	return true
+}
+
+// stateKey encodes (done, rem) into the scratch key buffer. Remaining work is
+// rounded to 1e-9 resolution exactly as the previous string key did. With
+// symmetric processors present, the pairs of each symmetry group are sorted
+// before encoding, so permuting identical processors yields the same key and
+// the visited prune removes the redundant subtrees.
+func (sc *searchScratch) stateKey(done []int, rem []float64) []byte {
+	buf := sc.keyBuf[:0]
+	prevCap := cap(buf)
+	if !sc.hasSym {
+		for i := 0; i < sc.m; i++ {
+			buf = appendPair(buf, done[i], roundRem(rem[i]))
+		}
+	} else {
+		for i := 0; i < sc.m; i++ {
+			if sc.groupRep[i] != i {
+				continue // encoded with its representative
+			}
+			pd, pr := sc.pairD[:0], sc.pairR[:0]
+			for j := i; j < sc.m; j++ {
+				if sc.groupRep[j] == i {
+					pd = append(pd, done[j])
+					pr = append(pr, roundRem(rem[j]))
+				}
+			}
+			// Canonical order within the group: (done, rem) ascending.
+			for a := 1; a < len(pd); a++ {
+				for b := a; b > 0 && (pd[b] < pd[b-1] || (pd[b] == pd[b-1] && pr[b] < pr[b-1])); b-- {
+					pd[b], pd[b-1] = pd[b-1], pd[b]
+					pr[b], pr[b-1] = pr[b-1], pr[b]
+				}
+			}
+			for p := range pd {
+				buf = appendPair(buf, pd[p], pr[p])
+			}
+			if cap(pd) > cap(sc.pairD) {
+				sc.pairD, sc.pairR = pd, pr
+				sc.allocs++
+			}
+		}
+	}
+	if cap(buf) != prevCap {
+		sc.allocs++
+	}
+	sc.keyBuf = buf
+	return buf
+}
+
+func roundRem(r float64) int64 { return int64(math.Round(r * 1e9)) }
+
+func appendPair(buf []byte, done int, rr int64) []byte {
+	return append(buf,
+		byte(done), byte(done>>8), byte(done>>16), byte(done>>24),
+		byte(rr), byte(rr>>8), byte(rr>>16), byte(rr>>24),
+		byte(rr>>32), byte(rr>>40), byte(rr>>48), byte(rr>>56))
+}
+
+// visitedTable is an open-addressing hash table from canonical state keys to
+// the shallowest depth the state was reached at. Keys live in one append-only
+// byte arena, so the table performs no per-entry allocations; clearing it for
+// the next solve just resets the entry slots and the arena length.
+type visitedTable struct {
+	entries []visitedEntry // length is a power of two
+	keys    []byte         // arena holding every inserted key back to back
+	count   int
+}
+
+type visitedEntry struct {
+	hash  uint64
+	off   uint32
+	klen  uint32 // 0 marks an empty slot (keys are never empty)
+	depth int32
+}
+
+const visitedMinSize = 1 << 10
+
+func (vt *visitedTable) reset(allocs *int64) {
+	if vt.entries == nil {
+		vt.entries = make([]visitedEntry, visitedMinSize)
+		*allocs++
+	} else {
+		clear(vt.entries)
+	}
+	vt.keys = vt.keys[:0]
+	vt.count = 0
+}
+
+// visit looks the key up, recording depth as the shallowest visit. It
+// returns true when the state was already reached at the same or a smaller
+// depth — the caller prunes — and false otherwise.
+func (vt *visitedTable) visit(key []byte, depth int, allocs *int64) bool {
+	if vt.count*4 >= len(vt.entries)*3 {
+		vt.grow(allocs)
+	}
+	h := fnv64(key)
+	mask := uint64(len(vt.entries) - 1)
+	i := h & mask
+	for {
+		e := &vt.entries[i]
+		if e.klen == 0 {
+			off := len(vt.keys)
+			if cap(vt.keys)-off < len(key) {
+				*allocs++
+			}
+			vt.keys = append(vt.keys, key...)
+			*e = visitedEntry{hash: h, off: uint32(off), klen: uint32(len(key)), depth: int32(depth)}
+			vt.count++
+			return false
+		}
+		if e.hash == h && int(e.klen) == len(key) && bytes.Equal(vt.keys[e.off:e.off+uint32(len(key))], key) {
+			if int(e.depth) <= depth {
+				return true
+			}
+			e.depth = int32(depth)
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (vt *visitedTable) grow(allocs *int64) {
+	old := vt.entries
+	vt.entries = make([]visitedEntry, len(old)*2)
+	*allocs++
+	mask := uint64(len(vt.entries) - 1)
+	for _, e := range old {
+		if e.klen == 0 {
+			continue
+		}
+		i := e.hash & mask
+		for vt.entries[i].klen != 0 {
+			i = (i + 1) & mask
+		}
+		vt.entries[i] = e
+	}
+}
+
+// fnv64 is the FNV-1a hash, inlined to keep the visited probe allocation-free.
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// expandBuf stores the successors of one expanded node in flat row-major
+// arrays (successor i occupies [i*m, (i+1)*m) of each array), replacing the
+// per-move state and allocation-slice churn of the original implementation.
+type expandBuf struct {
+	n     int // successors stored
+	m     int // row width
+	done  []int
+	rem   []float64
+	alloc []float64
+	cnt   []int // total finished jobs in the successor, for move ordering
+	ord   []int // iteration order: cnt descending, stable
+}
+
+func (b *expandBuf) reset(m int) {
+	b.n = 0
+	b.m = m
+}
+
+// add appends one zeroed successor row and returns its index. Growth is
+// geometric and preserves the rows already stored, which callers may still
+// hold slices into.
+func (b *expandBuf) add(allocs *int64) int {
+	idx := b.n
+	need := (idx + 1) * b.m
+	if cap(b.done) < need {
+		*allocs++
+		grow := 2 * cap(b.done)
+		if grow < need {
+			grow = need
+		}
+		nd := make([]int, grow)
+		nr := make([]float64, grow)
+		na := make([]float64, grow)
+		copy(nd, b.done[:idx*b.m])
+		copy(nr, b.rem[:idx*b.m])
+		copy(na, b.alloc[:idx*b.m])
+		b.done, b.rem, b.alloc = nd, nr, na
+	}
+	b.done = b.done[:need]
+	b.rem = b.rem[:need]
+	b.alloc = b.alloc[:need]
+	row := b.alloc[idx*b.m : need]
+	for i := range row {
+		row[i] = 0
+	}
+	if cap(b.cnt) <= idx {
+		*allocs++
+	}
+	b.cnt = append(b.cnt[:idx], 0)
+	b.n++
+	return idx
+}
+
+func (b *expandBuf) doneRow(i int) []int      { return b.done[i*b.m : (i+1)*b.m] }
+func (b *expandBuf) remRow(i int) []float64   { return b.rem[i*b.m : (i+1)*b.m] }
+func (b *expandBuf) allocRow(i int) []float64 { return b.alloc[i*b.m : (i+1)*b.m] }
+
+// order rebuilds ord as the stable insertion sort of the successors by
+// finished-job count descending — the exact ordering rule of the original
+// []move implementation.
+func (b *expandBuf) order(allocs *int64) {
+	if cap(b.ord) < b.n {
+		*allocs++
+		b.ord = make([]int, b.n)
+	}
+	b.ord = b.ord[:b.n]
+	for i := 0; i < b.n; i++ {
+		b.ord[i] = i
+	}
+	for a := 1; a < b.n; a++ {
+		for x := a; x > 0 && b.cnt[b.ord[x]] > b.cnt[b.ord[x-1]]; x-- {
+			b.ord[x], b.ord[x-1] = b.ord[x-1], b.ord[x]
+		}
+	}
+}
+
+func resizeInts(s []int, n int, allocs *int64) []int {
+	if cap(s) < n {
+		*allocs++
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeFloats(s []float64, n int, allocs *int64) []float64 {
+	if cap(s) < n {
+		*allocs++
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -311,34 +312,69 @@ func derive(inst *core.Instance, c *config, finish []int, partial int, amount fl
 
 // pruneDominated removes every configuration dominated by another one in the
 // same round. When two configurations dominate each other (identical state)
-// the one with the lower index is kept. The quadratic sweep polls ctx every
-// few outer iterations: on large rounds it is by far the longest
-// uninterruptible stretch of the algorithm.
+// the one with the lower index is kept.
+//
+// Instead of the all-pairs quadratic sweep this sorts the round by a
+// domination-compatible score — total jobs done descending, total remaining
+// work ascending, index ascending — and sweeps once: a configuration can only
+// be dominated by one placed earlier in that order (up to epsilon ties on the
+// remaining-work totals, which at worst leave an occasional dominated
+// configuration alive; the algorithm then merely prunes slightly less, which
+// is always sound). Each candidate is tested against the kept configurations
+// only, stopping at the first dominator, so rounds whose members are mostly
+// dominated by a few leaders cost far fewer comparisons than n². Survivors
+// are returned in their original order, which keeps the serial and the
+// parallel scheduler (which share this function) deterministic and
+// bit-identical to each other.
 func pruneDominated(ctx context.Context, configs []*config) ([]*config, error) {
-	removed := make([]bool, len(configs))
-	for i := range configs {
-		if i&63 == 0 {
+	n := len(configs)
+	if n <= 1 {
+		return configs, nil
+	}
+	sumDone := make([]int, n)
+	sumRem := make([]float64, n)
+	ord := make([]int, n)
+	for i, c := range configs {
+		ord[i] = i
+		for p := range c.done {
+			sumDone[i] += c.done[p]
+			sumRem[i] += c.rem[p]
+		}
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		x, y := ord[a], ord[b]
+		if sumDone[x] != sumDone[y] {
+			return sumDone[x] > sumDone[y]
+		}
+		if sumRem[x] != sumRem[y] {
+			return sumRem[x] < sumRem[y]
+		}
+		return x < y
+	})
+	removed := make([]uint64, (n+63)/64)
+	live := make([]int, 0, n)
+	for pos, j := range ord {
+		if pos&63 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		if removed[i] {
-			continue
-		}
-		for j := range configs {
-			if i == j || removed[j] || removed[i] {
-				continue
-			}
+		dominated := false
+		for _, i := range live {
 			if dominates(configs[i], configs[j]) {
-				removed[j] = true
-			} else if dominates(configs[j], configs[i]) {
-				removed[i] = true
+				dominated = true
+				break
 			}
+		}
+		if dominated {
+			removed[j/64] |= 1 << (j % 64)
+		} else {
+			live = append(live, j)
 		}
 	}
-	var out []*config
+	out := configs[:0]
 	for i, c := range configs {
-		if !removed[i] {
+		if removed[i/64]&(1<<(i%64)) == 0 {
 			out = append(out, c)
 		}
 	}

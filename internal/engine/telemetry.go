@@ -22,8 +22,12 @@ func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
 type Telemetry struct {
 	// Solver is the registry name the request resolved to (e.g. "portfolio").
 	Solver string `json:"solver"`
+	// Winner is the solver that actually produced the schedule: the winning
+	// member for a portfolio, the solver itself otherwise. Empty for solvers
+	// that do not report stats.
+	Winner string `json:"winner,omitempty"`
 	// Algorithm is the algorithm that produced the schedule; for a portfolio
-	// the winning member.
+	// win it reads "member (via portfolio)".
 	Algorithm string `json:"algorithm"`
 	// Source reports how the result was obtained: "solve", "cache" or
 	// "coalesced".
@@ -40,6 +44,12 @@ type Telemetry struct {
 	Nodes int64 `json:"nodes"`
 	// Incumbents counts the improving solutions reported while the solve ran.
 	Incumbents int64 `json:"incumbents"`
+	// KernelAllocs counts heap-allocation events on the search kernels' hot
+	// path (scratch-arena growth, work handoffs); a steady-state exact solve
+	// reports zero or near-zero. AllocsPerNode is KernelAllocs / Nodes — the
+	// headline number for the allocation-free search kernels.
+	KernelAllocs  int64   `json:"kernel_allocs"`
+	AllocsPerNode float64 `json:"allocs_per_node"`
 	// Makespan is the schedule's makespan in steps.
 	Makespan int `json:"makespan"`
 	// LowerBound is the best instance lower bound (core.LowerBounds), and
@@ -62,12 +72,14 @@ func newTelemetry(solverName string, ev *solver.Evaluation, src solver.Source, i
 	bounds := inst.Bounds()
 	t := Telemetry{
 		Solver:         solverName,
+		Winner:         ev.Stats.Winner,
 		Algorithm:      ev.Algorithm,
 		Source:         string(src),
 		ElapsedMS:      float64(ev.Stats.Elapsed) / float64(time.Millisecond),
 		QueueMS:        float64(queued) / float64(time.Millisecond),
 		Nodes:          ev.Stats.Nodes,
 		Incumbents:     ev.Stats.Incumbents,
+		KernelAllocs:   ev.Stats.KernelAllocs,
 		Makespan:       ev.Makespan,
 		LowerBound:     ev.LowerBound,
 		LowerBoundKind: bounds.Kind(),
@@ -77,6 +89,9 @@ func newTelemetry(solverName string, ev *solver.Evaluation, src solver.Source, i
 	}
 	if ev.Schedule != nil {
 		t.Steps = ev.Schedule.Steps()
+	}
+	if t.Nodes > 0 {
+		t.AllocsPerNode = float64(t.KernelAllocs) / float64(t.Nodes)
 	}
 	return t
 }

@@ -53,6 +53,12 @@ const (
 	// FamilyPaperFigures holds the paper's fixed constructions (Figures 1-3,
 	// the Theorem 8 block construction) as seed-independent anchors.
 	FamilyPaperFigures = "paper-figures"
+	// FamilyGreedyTrap holds the greedy worst-case construction at a few
+	// widths: instances on which GreedyBalance is provably suboptimal, so
+	// the exact kernels must actually search and the anytime tier's
+	// incumbent stream is visible under load (random families are usually
+	// confirmed by the work bound in a single node).
+	FamilyGreedyTrap = "greedy-trap"
 )
 
 // FamilyNames lists the families BuildCorpus emits, in corpus order.
@@ -63,6 +69,7 @@ func FamilyNames() []string {
 		FamilyResourceTight,
 		FamilyAdversarialDup,
 		FamilyPaperFigures,
+		FamilyGreedyTrap,
 	}
 }
 
@@ -78,6 +85,7 @@ func BuildCorpus(seed int64) *Corpus {
 		{Name: FamilyResourceTight, Instances: buildResourceTight(sub(3))},
 		{Name: FamilyAdversarialDup, Instances: buildAdversarialDup(sub(4))},
 		{Name: FamilyPaperFigures, Instances: buildPaperFigures()},
+		{Name: FamilyGreedyTrap, Instances: buildGreedyTrap()},
 	}
 	return c
 }
@@ -145,6 +153,18 @@ func buildPaperFigures() []*core.Instance {
 		gen.Figure3(8),
 		gen.GreedyWorstCase(3, 2, 0.01),
 	}
+}
+
+// buildGreedyTrap emits the greedy worst case at increasing widths. The
+// family is seed-independent. Widths stay moderate (exact search in the
+// low tens of milliseconds) so replaying the family under a load mix does
+// not clog the admission slots of a short smoke run.
+func buildGreedyTrap() []*core.Instance {
+	var out []*core.Instance
+	for _, m := range []int{3, 4, 5} {
+		out = append(out, gen.GreedyWorstCase(m, 2, 1.0/(20*float64(m)*float64(m+1))))
+	}
+	return out
 }
 
 // PermuteProcs returns a copy of inst whose processor i is the input's

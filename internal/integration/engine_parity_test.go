@@ -13,12 +13,15 @@ import (
 )
 
 // normalize blanks the per-request fields of a telemetry record (wall-clock
-// and admission wait vary run to run); everything else — search effort,
-// winner, cache source, bounds, schedule shape — must be identical across
-// surfaces.
+// and admission wait vary run to run, and the kernels' allocation-event
+// count depends on how warm the scratch pool happens to be); everything else
+// — search effort, winner, cache source, bounds, schedule shape — must be
+// identical across surfaces.
 func normalize(t engine.Telemetry) engine.Telemetry {
 	t.ElapsedMS = 0
 	t.QueueMS = 0
+	t.KernelAllocs = 0
+	t.AllocsPerNode = 0
 	return t
 }
 
@@ -62,6 +65,12 @@ func TestEngineTelemetryParityAcrossSurfaces(t *testing.T) {
 				if reference[i].Source != src {
 					t.Fatalf("sync request %d source %q, want %q", i, reference[i].Source, src)
 				}
+				// A plain solver is its own winner: Solver names what was
+				// requested, Winner what produced the schedule.
+				if reference[i].Solver != solverName || reference[i].Winner != solverName {
+					t.Fatalf("sync request %d solver/winner = %q/%q, want both %q",
+						i, reference[i].Solver, reference[i].Winner, solverName)
+				}
 			}
 			if solverName == "branch-and-bound" && reference[0].Nodes <= 0 {
 				t.Fatalf("branch-and-bound telemetry reports no explored nodes: %+v", reference[0])
@@ -85,6 +94,35 @@ func TestEngineTelemetryParityAcrossSurfaces(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestEngineTelemetryPortfolioWinner pins the requested-solver / winning-
+// member split for portfolio solves: Telemetry.Solver stays "portfolio",
+// Telemetry.Winner names the member that produced the schedule, and
+// Algorithm spells out the combination.
+func TestEngineTelemetryPortfolioWinner(t *testing.T) {
+	eng := newParityEngine(t)
+	res, err := eng.Solve(context.Background(), engine.Request{Solver: "portfolio", Instance: gen.Figure1()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := res.Telemetry
+	if tel.Solver != "portfolio" {
+		t.Fatalf("Telemetry.Solver = %q, want \"portfolio\"", tel.Solver)
+	}
+	if tel.Winner == "" || tel.Winner == "portfolio" {
+		t.Fatalf("Telemetry.Winner = %q, want the winning member's name", tel.Winner)
+	}
+	members := make(map[string]bool)
+	for _, name := range solver.Default().Names() {
+		members[name] = true
+	}
+	if !members[tel.Winner] {
+		t.Fatalf("Telemetry.Winner = %q is not a registered solver", tel.Winner)
+	}
+	if want := tel.Winner + " (via portfolio)"; tel.Algorithm != want {
+		t.Fatalf("Telemetry.Algorithm = %q, want %q", tel.Algorithm, want)
 	}
 }
 

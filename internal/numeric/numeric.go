@@ -34,6 +34,13 @@ func Eq(a, b float64) bool { return math.Abs(a-b) <= Eps }
 // IsZero reports whether a is zero up to the default tolerance.
 func IsZero(a float64) bool { return math.Abs(a) <= Eps }
 
+// CeilTol returns the smallest integer >= x up to the default tolerance:
+// values within Eps below an integer round to that integer instead of the
+// next one. It is the tolerant form of int(math.Ceil(x)) used by the lower
+// bounds, where accumulated rounding in a work sum must not inflate the
+// bound by a whole step.
+func CeilTol(x float64) int { return int(math.Ceil(x - Eps)) }
+
 // Clamp returns x restricted to the interval [lo, hi].
 func Clamp(x, lo, hi float64) float64 {
 	if x < lo {

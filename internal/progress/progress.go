@@ -47,6 +47,10 @@ type Counters struct {
 	Nodes atomic.Int64
 	// Incumbents counts improving solutions reported through Report.
 	Incumbents atomic.Int64
+	// Allocs counts heap-allocation events the kernels performed on their
+	// search hot path (scratch-arena growth, not every object): an
+	// allocation-free steady state reports zero. Heuristics leave it zero.
+	Allocs atomic.Int64
 }
 
 // WithObserver returns a context carrying fn as the incumbent observer.
@@ -79,6 +83,15 @@ func CountersFrom(ctx context.Context) *Counters {
 func AddNodes(ctx context.Context, n int64) {
 	if c := CountersFrom(ctx); c != nil && n > 0 {
 		c.Nodes.Add(n)
+	}
+}
+
+// AddAllocs adds n kernel heap-allocation events to the counters attached to
+// ctx, if any. Kernels report once per solve (the scratch tracks its own
+// growth), so the call is off the hot path.
+func AddAllocs(ctx context.Context, n int64) {
+	if c := CountersFrom(ctx); c != nil && n > 0 {
+		c.Allocs.Add(n)
 	}
 }
 

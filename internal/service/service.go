@@ -309,7 +309,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			ev := out.Result.Evaluation
 			res.Makespan = ev.Makespan
 			res.Wasted = ev.Wasted
-			res.Algorithm = ev.Stats.Solver
+			res.Algorithm = ev.Algorithm
 			res.Source = string(out.Result.Source)
 			res.ElapsedMS = float64(ev.Stats.Elapsed) / float64(time.Millisecond)
 			res.Telemetry = &out.Result.Telemetry

@@ -57,7 +57,7 @@ func ExamplePortfolio() {
 		panic(err)
 	}
 	res, _ := core.Execute(inst, sched)
-	fmt.Println("winner:", stats.Solver)
+	fmt.Println("winner:", stats.Winner)
 	fmt.Println("makespan:", res.Makespan())
 	fmt.Println("members raced:", len(stats.Candidates))
 	// Output:

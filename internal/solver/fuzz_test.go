@@ -45,7 +45,7 @@ func FuzzPortfolioAgainstBruteforce(f *testing.F) {
 		}
 		if got := res.Makespan(); got != want {
 			t.Fatalf("portfolio (winner %s) makespan %d, bruteforce optimum %d\n%v",
-				stats.Solver, got, want, inst)
+				stats.Winner, got, want, inst)
 		}
 	})
 }

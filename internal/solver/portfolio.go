@@ -135,6 +135,7 @@ func (p *Portfolio) Solve(ctx context.Context, inst *core.Instance) (*core.Sched
 		}
 		stats.Nodes += r.stats.Nodes
 		stats.Incumbents += r.stats.Incumbents
+		stats.KernelAllocs += r.stats.KernelAllocs
 		if r.err != nil {
 			continue
 		}
@@ -151,7 +152,10 @@ func (p *Portfolio) Solve(ctx context.Context, inst *core.Instance) (*core.Sched
 		}
 		return nil, stats, fmt.Errorf("portfolio: every member failed: %w", joinErrors(results))
 	}
-	stats.Solver = p.Members[bestIdx].Name()
+	// Stats.Solver stays "portfolio" — the solver that was asked; the member
+	// that actually produced the schedule is reported separately so
+	// telemetry can distinguish the two.
+	stats.Winner = p.Members[bestIdx].Name()
 	return results[bestIdx].sched, stats, nil
 }
 

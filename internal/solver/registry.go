@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"crsharing/internal/algo"
+	"crsharing/internal/algo/anytime"
 	"crsharing/internal/algo/branchbound"
 	"crsharing/internal/algo/chunked"
 	"crsharing/internal/algo/greedybalance"
@@ -82,6 +83,7 @@ func Default() *Registry {
 	r.Register("branch-and-bound-parallel", func() Solver { return Adapt(branchbound.NewParallel()) })
 	r.Register("chunked-exact-w2", func() Solver { return Adapt(chunked.New(2)) })
 	r.Register("chunked-exact-w3", func() Solver { return Adapt(chunked.New(3)) })
+	r.Register("anytime-local-search", func() Solver { return Adapt(anytime.New()) })
 	r.Register("portfolio", func() Solver { return NewDefaultPortfolio() })
 	return r
 }
@@ -89,11 +91,15 @@ func Default() *Registry {
 // NewDefaultPortfolio races the fast heuristics against the exact solvers and
 // returns the best schedule any of them finds. Members that reject the
 // instance (wrong processor count, non-unit sizes) are simply skipped, so the
-// portfolio accepts every instance at least one member accepts.
+// portfolio accepts every instance at least one member accepts. The anytime
+// tier rides along: it streams a feasible incumbent within microseconds and
+// keeps improving it while the exact members search, so observers of a long
+// race are never without a bound.
 func NewDefaultPortfolio() *Portfolio {
 	return NewPortfolio(
 		Adapt(greedybalance.New()),
 		Adapt(roundrobin.New()),
+		Adapt(anytime.New()),
 		Adapt(chunked.New(2)),
 		Adapt(optres2.New()),
 		Adapt(optresm.New()),
@@ -118,6 +124,7 @@ func NewExactPortfolio(workers int) *Portfolio {
 
 // compile-time interface checks for the adapters the registry hands out.
 var (
+	_ ContextScheduler = (*anytime.Scheduler)(nil)
 	_ ContextScheduler = (*branchbound.Scheduler)(nil)
 	_ ContextScheduler = (*branchbound.ParallelScheduler)(nil)
 	_ ContextScheduler = (*optresm.Scheduler)(nil)

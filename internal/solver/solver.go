@@ -24,9 +24,13 @@ import (
 
 // Stats carries bookkeeping about one Solve call.
 type Stats struct {
-	// Solver is the name of the solver that produced the returned schedule.
-	// For a portfolio this is the winning member, not the portfolio itself.
+	// Solver is the name of the solver that was asked to solve — for a
+	// portfolio this is "portfolio", never a member name.
 	Solver string
+	// Winner is the name of the solver that actually produced the returned
+	// schedule: the winning member for a portfolio, the solver itself
+	// otherwise.
+	Winner string
 	// Elapsed is the wall-clock duration of the Solve call.
 	Elapsed time.Duration
 	// Nodes counts the search nodes (branch-and-bound) or configurations
@@ -36,6 +40,11 @@ type Stats struct {
 	Nodes int64
 	// Incumbents counts the improving solutions reported while the solve ran.
 	Incumbents int64
+	// KernelAllocs counts the heap-allocation events the search kernels
+	// recorded on their hot path (scratch growth and work handoffs, reported
+	// through internal/progress); steady-state exact solves report zero or
+	// near-zero. Together with Nodes it yields allocs-per-node telemetry.
+	KernelAllocs int64
 	// Candidates records the per-member outcomes of a portfolio run; it is
 	// empty for plain solvers.
 	Candidates []Candidate
@@ -113,10 +122,12 @@ func (a *adapted) Solve(ctx context.Context, inst *core.Instance) (*core.Schedul
 		sched, err = a.s.Schedule(inst)
 	}
 	st := Stats{
-		Solver:     a.s.Name(),
-		Elapsed:    time.Since(start),
-		Nodes:      ctr.Nodes.Load(),
-		Incumbents: ctr.Incumbents.Load(),
+		Solver:       a.s.Name(),
+		Winner:       a.s.Name(),
+		Elapsed:      time.Since(start),
+		Nodes:        ctr.Nodes.Load(),
+		Incumbents:   ctr.Incumbents.Load(),
+		KernelAllocs: ctr.Allocs.Load(),
 	}
 	if err != nil {
 		return nil, st, fmt.Errorf("%s: %w", a.s.Name(), err)
@@ -162,8 +173,8 @@ func Evaluate(ctx context.Context, s Solver, inst *core.Instance) (*Evaluation, 
 		Wasted:     res.Wasted(),
 		Stats:      st,
 	}
-	if ev.Stats.Solver != "" && ev.Stats.Solver != s.Name() {
-		ev.Algorithm = fmt.Sprintf("%s (via %s)", ev.Stats.Solver, s.Name())
+	if ev.Stats.Winner != "" && ev.Stats.Winner != s.Name() {
+		ev.Algorithm = fmt.Sprintf("%s (via %s)", ev.Stats.Winner, s.Name())
 	}
 	if lb > 0 {
 		ev.Ratio = float64(ev.Makespan) / float64(lb)

@@ -118,7 +118,10 @@ func TestExactPortfolioRace(t *testing.T) {
 		if res.Makespan() != want {
 			t.Fatalf("trial %d: exact portfolio makespan %d, want %d", trial, res.Makespan(), want)
 		}
-		if stats.Solver == "" || stats.Solver == "portfolio" {
+		if stats.Solver != "portfolio" {
+			t.Fatalf("trial %d: requested solver not reported: %+v", trial, stats)
+		}
+		if stats.Winner == "" || stats.Winner == "portfolio" {
 			t.Fatalf("trial %d: winner not reported: %+v", trial, stats)
 		}
 	}
@@ -278,8 +281,8 @@ func TestPortfolioTimeoutSemantics(t *testing.T) {
 		if err != nil {
 			t.Fatalf("got %v, want nil error despite expired context", err)
 		}
-		if got == nil || st.Solver != "fast" {
-			t.Fatalf("winner = %q (schedule %v), want fast", st.Solver, got)
+		if got == nil || st.Winner != "fast" {
+			t.Fatalf("winner = %q (schedule %v), want fast", st.Winner, got)
 		}
 		if ctx.Err() == nil {
 			t.Fatal("test invariant: parent context should be expired")
