@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"crsharing/internal/engine"
 	"crsharing/internal/harness"
 )
 
@@ -44,12 +45,22 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "cap on concurrently outstanding requests; arrivals beyond it are shed")
 	jsonOut := flag.String("json", "", "write the report as JSON to this file")
 	minCacheHits := flag.Int("min-cache-hits", 0, "fail unless the run produced at least this many cache-served responses")
+	tenantSpec := flag.String("tenants", "", "multi-tenant traffic, name:weight:rps,... (e.g. gold:3:150,free:1:50); weights also configure the in-process server")
+	minTenantRequests := flag.Int("min-tenant-requests", 0, "fail unless every tenant completed at least this many non-error requests (starvation gate)")
+	cacheDir := flag.String("cache-dir", "", "warm-cache directory for the in-process server; reused across runs to test cold/warm starts")
 	flag.Parse()
 
 	mix, err := harness.ParseMix(*mixSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	var tenantLoads []harness.TenantLoad
+	if *tenantSpec != "" {
+		if tenantLoads, err = harness.ParseTenantLoads(*tenantSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	corpus := harness.BuildCorpus(*seed)
 	if err := corpus.Validate(); err != nil {
@@ -64,7 +75,14 @@ func main() {
 		// behind an httptest listener. The driver deliberately saturates the
 		// server; the stack's generous default admission budget keeps
 		// queueing delay out of the measured latencies.
-		stack, err := harness.NewStack(harness.StackConfig{Version: "crload"})
+		scfg := harness.StackConfig{Version: "crload", CacheDir: *cacheDir}
+		if len(tenantLoads) > 0 {
+			scfg.Tenants = make(map[string]engine.TenantConfig, len(tenantLoads))
+			for _, tl := range tenantLoads {
+				scfg.Tenants[tl.Name] = engine.TenantConfig{Weight: tl.Weight}
+			}
+		}
+		stack, err := harness.NewStack(scfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -76,6 +94,10 @@ func main() {
 		}()
 		base = stack.URL
 		fmt.Fprintf(os.Stderr, "crload: driving in-process server at %s\n", base)
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, "crload: warm cache: restored %d evaluations from %s (%d corrupt files quarantined)\n",
+				stack.CacheLoad.Restored, *cacheDir, stack.CacheLoad.Quarantined)
+		}
 	}
 
 	driver, err := harness.NewDriver(harness.Config{
@@ -90,6 +112,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		BatchSize:      *batchSize,
 		MaxInflight:    *maxInflight,
+		Tenants:        tenantLoads,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -124,6 +147,24 @@ func main() {
 	if hits := int(report.Cache.CacheServed); hits < *minCacheHits {
 		fmt.Fprintf(os.Stderr, "crload: FAIL: %d cache-served responses, need at least %d\n", hits, *minCacheHits)
 		os.Exit(1)
+	}
+	if *minTenantRequests > 0 {
+		starved := false
+		for _, tl := range tenantLoads {
+			ts := report.Tenants[tl.Name]
+			served := 0
+			if ts != nil {
+				served = ts.Requests - ts.Errors
+			}
+			if served < *minTenantRequests {
+				fmt.Fprintf(os.Stderr, "crload: FAIL: tenant %q completed %d non-error requests, need at least %d\n",
+					tl.Name, served, *minTenantRequests)
+				starved = true
+			}
+		}
+		if starved {
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "crload: OK: %d responses validated, zero invariant violations\n", report.Validated)
 }

@@ -189,7 +189,7 @@ func runBatch(ctx context.Context, eng *engine.Engine, algoName string, data []b
 	if _, err := eng.ResolveSolver(algoName); err != nil {
 		return err
 	}
-	outcomes := eng.SolveEach(ctx, algoName, insts, workers)
+	outcomes := eng.SolveEach(ctx, engine.DefaultTenant, algoName, insts, workers)
 	failed, cancelled := 0, 0
 	for _, out := range outcomes {
 		switch {

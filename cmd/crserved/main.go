@@ -61,11 +61,54 @@ func main() {
 	jobMaxTimeout := flag.Duration("job-max-timeout", time.Hour, "upper clamp on job-supplied solve budgets")
 	jobRetention := flag.Int("job-retention", 4096, "job records kept in memory; oldest finished records beyond this are evicted")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
+	tenantSpec := flag.String("tenants", "", "per-tenant admission quotas, name:weight[:maxinflight[:maxqueued[:priority]]],... (e.g. gold:3,free:1:4:32:1)")
+	shedRetryAfter := flag.Duration("shed-retry-after", time.Second, "Retry-After hint attached to quota sheds (429s)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent warm cache; empty keeps the memo cache in memory only")
+	cacheFlush := flag.Duration("cache-flush", 30*time.Second, "interval between periodic cache snapshots to -cache-dir")
+	negativeTTL := flag.Duration("negative-ttl", 0, "remember deterministic solve failures for this long and replay them without re-solving; 0 disables")
+	apiKeySpec := flag.String("api-keys", "", "API key to tenant mapping, key=tenant,... (keys arrive as X-API-Key or Authorization: Bearer)")
 	flag.Parse()
 
+	var tenants map[string]engine.TenantConfig
+	if *tenantSpec != "" {
+		var err error
+		if tenants, err = engine.ParseTenants(*tenantSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	var apiKeys map[string]string
+	if *apiKeySpec != "" {
+		var err error
+		if apiKeys, err = service.ParseAPIKeys(*apiKeySpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	var cache *solver.Cache
+	var persister *solver.Persister
 	if *cacheCapacity > 0 {
 		cache = solver.NewCache(*cacheShards, *cacheCapacity)
+		if *negativeTTL > 0 {
+			cache.SetNegativeTTL(*negativeTTL)
+		}
+		if *cacheDir != "" {
+			p, err := solver.NewPersister(cache, *cacheDir, *cacheFlush)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			rep, err := p.Load()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			log.Printf("crserved: warm cache: restored %d evaluations from %s (%d skipped, %d corrupt files quarantined)",
+				rep.Restored, *cacheDir, rep.Skipped, rep.Quarantined)
+			p.Start()
+			persister = p
+		}
 	}
 
 	// One engine for the whole process: the synchronous handlers, the batch
@@ -78,6 +121,8 @@ func main() {
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxConcurrent:  *maxConcurrent,
+		Tenants:        tenants,
+		ShedRetryAfter: *shedRetryAfter,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -115,6 +160,7 @@ func main() {
 		Engine:   eng,
 		MaxBatch: *maxBatch,
 		Jobs:     manager,
+		APIKeys:  apiKeys,
 		Version:  crsharing.Version,
 	})
 	if err != nil {
@@ -135,6 +181,13 @@ func main() {
 		defer cancel()
 		if err := manager.Close(cctx); err != nil {
 			log.Printf("crserved: job shutdown: %v", err)
+		}
+	}
+	// Final warm-cache snapshot: everything memoised this run is available to
+	// the next process.
+	if persister != nil {
+		if err := persister.Close(); err != nil {
+			log.Printf("crserved: cache snapshot: %v", err)
 		}
 	}
 	if runErr != nil {

@@ -86,16 +86,36 @@ func BenchmarkEngineSolveCacheHitPrehashed(b *testing.B) {
 	}
 }
 
-// BenchmarkSemaphore measures one uncontended acquire/release pair.
-func BenchmarkSemaphore(b *testing.B) {
-	sem := newSemaphore(16)
+// BenchmarkAdmissionUncontended measures one uncontended acquire/release
+// pair of the fair scheduler — the cost every fresh solve pays even when the
+// system is idle, gated by benchdiff in CI.
+func BenchmarkAdmissionUncontended(b *testing.B) {
+	sem := newFairScheduler(16, TenantConfig{}, nil, 0)
 	ctx := context.Background()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := sem.Acquire(ctx, 1); err != nil {
+		if err := sem.Acquire(ctx, "", 1); err != nil {
 			b.Fatal(err)
 		}
-		sem.Release(1)
+		sem.Release("", 1)
+	}
+}
+
+// BenchmarkAdmissionMultiTenant measures the uncontended acquire/release
+// pair when the request names a configured (non-default) tenant — the lookup
+// plus quota bookkeeping on top of the base path.
+func BenchmarkAdmissionMultiTenant(b *testing.B) {
+	sem := newFairScheduler(16, TenantConfig{}, map[string]TenantConfig{
+		"gold": {Weight: 3, MaxInflight: 12},
+		"free": {Weight: 1, MaxInflight: 4, Priority: 1},
+	}, 0)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := sem.Acquire(ctx, "gold", 1); err != nil {
+			b.Fatal(err)
+		}
+		sem.Release("gold", 1)
 	}
 }
 
@@ -107,11 +127,11 @@ func BenchmarkSolveEach(b *testing.B) {
 		insts[i] = core.NewInstance([]float64{float64(i+1) / 20, 0.5}, []float64{0.25})
 	}
 	ctx := context.Background()
-	eng.SolveEach(ctx, "", insts, 8) // warm the cache
+	eng.SolveEach(ctx, "", "", insts, 8) // warm the cache
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		outcomes := eng.SolveEach(ctx, "", insts, 8)
+		outcomes := eng.SolveEach(ctx, "", "", insts, 8)
 		for _, out := range outcomes {
 			if out.Err != nil {
 				b.Fatal(out.Err)

@@ -78,6 +78,16 @@ type Config struct {
 	// MaxConcurrent is the global admission budget: the total weight of
 	// solves running at once across every surface (default 16).
 	MaxConcurrent int
+	// Tenants configures per-tenant admission quotas by tenant name. Tenants
+	// not listed here run under TenantDefaults.
+	Tenants map[string]TenantConfig
+	// TenantDefaults is the quota template applied to tenants absent from
+	// Tenants (zero value: weight 1, inflight quota = MaxConcurrent, queue
+	// bound 16x MaxConcurrent, priority 0).
+	TenantDefaults TenantConfig
+	// ShedRetryAfter is the back-off hint carried by ErrShed rejections
+	// (default 1s).
+	ShedRetryAfter time.Duration
 }
 
 // Engine routes every solve of the process. Create one with New and share it
@@ -85,7 +95,7 @@ type Config struct {
 // is safe for concurrent use.
 type Engine struct {
 	cfg Config
-	sem *semaphore
+	sem *fairScheduler
 	met *metrics
 }
 
@@ -109,9 +119,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 16
 	}
+	if cfg.ShedRetryAfter <= 0 {
+		cfg.ShedRetryAfter = time.Second
+	}
 	return &Engine{
 		cfg: cfg,
-		sem: newSemaphore(int64(cfg.MaxConcurrent)),
+		sem: newFairScheduler(int64(cfg.MaxConcurrent), cfg.TenantDefaults, cfg.Tenants, cfg.ShedRetryAfter),
 		met: newMetrics(),
 	}, nil
 }
@@ -127,6 +140,24 @@ func (e *Engine) DefaultSolver() string { return e.cfg.DefaultSolver }
 
 // MaxConcurrent returns the global admission budget.
 func (e *Engine) MaxConcurrent() int { return e.cfg.MaxConcurrent }
+
+// Tenant returns the resolved admission config the engine applies to the
+// named tenant (the empty name resolves to DefaultTenant). Quota surfaces
+// outside the engine — the job manager's per-tenant pending bound — read
+// their limits from here so one flag configures the whole stack.
+func (e *Engine) Tenant(name string) TenantConfig { return e.sem.Config(name) }
+
+// Shed builds the typed rejection for tenant-quota refusals outside the
+// admission path (e.g. the job manager's queue bound), using the engine's
+// configured Retry-After hint. The error is also accounted as a shed for the
+// tenant, so out-of-engine sheds appear in the same counters.
+func (e *Engine) Shed(tenant, reason string) *ErrShed {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	e.met.observeShed(tenant)
+	return &ErrShed{Tenant: tenant, Reason: reason, RetryAfter: e.cfg.ShedRetryAfter}
+}
 
 // Limits returns the engine's default (synchronous) deadline policy.
 func (e *Engine) Limits() Limits {
@@ -169,6 +200,10 @@ type Request struct {
 	// Weight is the admission weight (default 1). Heavier requests may be
 	// given a larger share of the MaxConcurrent budget.
 	Weight int64
+	// Tenant is the tenant the request is admitted and accounted under;
+	// empty means DefaultTenant. Fairness, quotas and shedding are applied
+	// per tenant.
+	Tenant string
 }
 
 // Result is the outcome of one solve request.
@@ -224,7 +259,11 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*Result, error) {
 		fp = req.Instance.Fingerprint()
 	}
 
-	adm := &admitted{eng: e, inner: sv, weight: req.Weight}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	adm := &admitted{eng: e, inner: sv, weight: req.Weight, tenant: tenant}
 	var (
 		ev  *solver.Evaluation
 		src solver.Source
@@ -235,27 +274,31 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*Result, error) {
 		src = solver.SourceSolve
 		ev, err = solver.Evaluate(ctx, adm, req.Instance)
 	}
-	e.met.observe(src, ev, err, adm.queued)
+	e.met.observe(tenant, src, ev, err, adm.queued)
 	if err != nil {
 		return nil, err
 	}
+	tel := newTelemetry(name, ev, src, req.Instance, adm.queued)
+	tel.Tenant = tenant
 	return &Result{
 		Evaluation:  ev,
 		Source:      src,
 		Fingerprint: fp,
-		Telemetry:   newTelemetry(name, ev, src, req.Instance, adm.queued),
+		Telemetry:   tel,
 	}, nil
 }
 
 // admitted wraps a solver so that every fresh solve first acquires the
-// engine's global semaphore; acquisition respects the solve context, so a
-// queued request whose deadline expires fails with the context error instead
-// of waiting forever. Cache hits and coalesced waits never reach this
-// wrapper — only the singleflight leader actually solves.
+// engine's fair scheduler under its tenant; acquisition respects the solve
+// context, so a queued request whose deadline expires fails with the context
+// error instead of waiting forever, and over-quota requests fail immediately
+// with *ErrShed. Cache hits and coalesced waits never reach this wrapper —
+// only the singleflight leader actually solves.
 type admitted struct {
 	eng    *Engine
 	inner  solver.Solver
 	weight int64
+	tenant string
 	// queued is the admission wait of this request's solve, read by the
 	// engine after the call. One admitted value serves one request, and the
 	// cache invokes Solve at most once per request, so the field is not
@@ -267,12 +310,12 @@ func (a *admitted) Name() string { return a.inner.Name() }
 
 func (a *admitted) Solve(ctx context.Context, inst *core.Instance) (*core.Schedule, solver.Stats, error) {
 	start := time.Now()
-	if err := a.eng.sem.Acquire(ctx, a.weight); err != nil {
+	if err := a.eng.sem.Acquire(ctx, a.tenant, a.weight); err != nil {
 		a.queued = time.Since(start)
 		return nil, solver.Stats{Solver: a.inner.Name()}, err
 	}
 	a.queued = time.Since(start)
-	defer a.eng.sem.Release(a.weight)
+	defer a.eng.sem.Release(a.tenant, a.weight)
 	return a.inner.Solve(ctx, inst)
 }
 
@@ -290,16 +333,16 @@ type Outcome struct {
 	Skipped bool
 }
 
-// SolveEach solves every instance of a batch through the engine, sharding
-// the submission across a pool of feeder workers (0 = MaxConcurrent). The
-// actual solve concurrency is still governed by the engine's global
-// semaphore — the worker count only bounds how many requests this batch can
-// have in flight at once, so one batch cannot monopolise admission ordering.
-// Each instance runs with NoDeadline: the caller bounds the whole batch
-// through ctx. The returned slice is index-aligned with insts; once ctx is
-// cancelled, remaining instances fail fast with ctx.Err() and are marked
-// Skipped.
-func (e *Engine) SolveEach(ctx context.Context, solverName string, insts []*core.Instance, workers int) []Outcome {
+// SolveEach solves every instance of a batch through the engine under one
+// tenant ("" = DefaultTenant), sharding the submission across a pool of
+// feeder workers (0 = MaxConcurrent). The actual solve concurrency is still
+// governed by the engine's fair scheduler — the worker count only bounds how
+// many requests this batch can have in flight at once, so one batch cannot
+// monopolise admission ordering. Each instance runs with NoDeadline: the
+// caller bounds the whole batch through ctx. The returned slice is
+// index-aligned with insts; once ctx is cancelled, remaining instances fail
+// fast with ctx.Err() and are marked Skipped.
+func (e *Engine) SolveEach(ctx context.Context, tenant, solverName string, insts []*core.Instance, workers int) []Outcome {
 	if workers <= 0 {
 		workers = e.cfg.MaxConcurrent
 	}
@@ -317,7 +360,7 @@ func (e *Engine) SolveEach(ctx context.Context, solverName string, insts []*core
 		go func() {
 			defer func() { done <- struct{}{} }()
 			for idx := range indices {
-				outcomes[idx] = e.solveOne(ctx, solverName, idx, insts[idx])
+				outcomes[idx] = e.solveOne(ctx, tenant, solverName, idx, insts[idx])
 			}
 		}()
 	}
@@ -339,11 +382,11 @@ feed:
 	return outcomes
 }
 
-func (e *Engine) solveOne(ctx context.Context, solverName string, idx int, inst *core.Instance) Outcome {
+func (e *Engine) solveOne(ctx context.Context, tenant, solverName string, idx int, inst *core.Instance) Outcome {
 	if err := ctx.Err(); err != nil {
 		return Outcome{Index: idx, Err: err, Skipped: true}
 	}
-	res, err := e.Solve(ctx, Request{Solver: solverName, Instance: inst, Timeout: NoDeadline})
+	res, err := e.Solve(ctx, Request{Solver: solverName, Instance: inst, Timeout: NoDeadline, Tenant: tenant})
 	if err != nil {
 		return Outcome{Index: idx, Err: err}
 	}

@@ -252,7 +252,7 @@ func TestAdmissionSharedAcrossSolveAndBatch(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		outcomes := eng.SolveEach(context.Background(), "", batch, len(batch))
+		outcomes := eng.SolveEach(context.Background(), "", "", batch, len(batch))
 		for _, out := range outcomes {
 			if out.Err != nil {
 				t.Errorf("batch outcome %d: %v", out.Index, out.Err)
@@ -369,7 +369,7 @@ func TestSolveEachSkipsAfterCancellation(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
-	outcomes := eng.SolveEach(ctx, "", distinctInstances(4), 2)
+	outcomes := eng.SolveEach(ctx, "", "", distinctInstances(4), 2)
 	solved, failed, skipped := 0, 0, 0
 	for _, out := range outcomes {
 		switch {
@@ -395,10 +395,10 @@ func TestSolveEachSkipsAfterCancellation(t *testing.T) {
 	}
 }
 
-func TestSemaphoreWeights(t *testing.T) {
-	sem := newSemaphore(4)
+func TestSchedulerWeights(t *testing.T) {
+	sem := newFairScheduler(4, TenantConfig{}, nil, 0)
 	ctx := context.Background()
-	if err := sem.Acquire(ctx, 3); err != nil {
+	if err := sem.Acquire(ctx, "", 3); err != nil {
 		t.Fatal(err)
 	}
 	if got := sem.InUse(); got != 3 {
@@ -406,13 +406,13 @@ func TestSemaphoreWeights(t *testing.T) {
 	}
 	// Weight above capacity is clamped so it can still run alone.
 	done := make(chan error, 1)
-	go func() { done <- sem.Acquire(ctx, 99) }()
+	go func() { done <- sem.Acquire(ctx, "", 99) }()
 	select {
 	case <-done:
 		t.Fatal("oversized acquire admitted while 3 units were held")
 	case <-time.After(20 * time.Millisecond):
 	}
-	sem.Release(3)
+	sem.Release("", 3)
 	select {
 	case err := <-done:
 		if err != nil {
@@ -421,33 +421,34 @@ func TestSemaphoreWeights(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("clamped acquire never admitted")
 	}
-	sem.Release(99) // symmetric clamp
+	sem.Release("", 99) // symmetric clamp
 	if got := sem.InUse(); got != 0 {
 		t.Fatalf("InUse = %d after full release, want 0", got)
 	}
 }
 
-func TestSemaphoreCancelledWaiterUnblocksQueue(t *testing.T) {
-	sem := newSemaphore(2)
+func TestSchedulerCancelledWaiterUnblocksQueue(t *testing.T) {
+	sem := newFairScheduler(2, TenantConfig{}, nil, 0)
 	ctx := context.Background()
-	if err := sem.Acquire(ctx, 2); err != nil {
+	if err := sem.Acquire(ctx, "", 2); err != nil {
 		t.Fatal(err)
 	}
-	// A heavy waiter queues first, then a light one behind it.
+	// A heavy waiter queues first, then a light one behind it (same tenant).
 	heavyCtx, heavyCancel := context.WithCancel(ctx)
 	heavyErr := make(chan error, 1)
-	go func() { heavyErr <- sem.Acquire(heavyCtx, 2) }()
+	go func() { heavyErr <- sem.Acquire(heavyCtx, "", 2) }()
 	for sem.Waiting() < 1 {
 		time.Sleep(time.Millisecond)
 	}
 	lightErr := make(chan error, 1)
-	go func() { lightErr <- sem.Acquire(ctx, 1) }()
+	go func() { lightErr <- sem.Acquire(ctx, "", 1) }()
 	for sem.Waiting() < 2 {
 		time.Sleep(time.Millisecond)
 	}
 
-	// Free one unit: FIFO keeps the heavy waiter first, so nobody runs yet.
-	sem.Release(1)
+	// Free one unit: FIFO within the tenant keeps the heavy waiter first, so
+	// nobody runs yet.
+	sem.Release("", 1)
 	select {
 	case <-lightErr:
 		t.Fatal("light waiter overtook the heavy one")

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"errors"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,6 +24,8 @@ func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
 type Telemetry struct {
 	// Solver is the registry name the request resolved to (e.g. "portfolio").
 	Solver string `json:"solver"`
+	// Tenant is the tenant the request was admitted and accounted under.
+	Tenant string `json:"tenant,omitempty"`
 	// Winner is the solver that actually produced the schedule: the winning
 	// member for a portfolio, the solver itself otherwise. Empty for solvers
 	// that do not report stats.
@@ -29,8 +33,8 @@ type Telemetry struct {
 	// Algorithm is the algorithm that produced the schedule; for a portfolio
 	// win it reads "member (via portfolio)".
 	Algorithm string `json:"algorithm"`
-	// Source reports how the result was obtained: "solve", "cache" or
-	// "coalesced".
+	// Source reports how the result was obtained: "solve", "cache",
+	// "coalesced" or "negative" (a remembered infeasible/failed solve).
 	Source string `json:"source"`
 	// ElapsedMS is the wall-clock of the solve that produced the result. For
 	// cache and coalesced answers it replays the original solve's duration.
@@ -168,23 +172,70 @@ type metrics struct {
 	sourceSolve     atomic.Uint64
 	sourceCache     atomic.Uint64
 	sourceCoalesced atomic.Uint64
+	sourceNegative  atomic.Uint64
 	errorsTotal     atomic.Uint64
+	shedTotal       atomic.Uint64
 	nodesTotal      atomic.Int64
 	incumbentsTotal atomic.Int64
 	queueSeconds    atomicFloat
 	solveSeconds    *histogram
 	solveNodes      *histogram
+
+	tmu     sync.Mutex
+	tenants map[string]*tenantCounters
+}
+
+// tenantCounters is the per-tenant slice of the solve accounting.
+type tenantCounters struct {
+	requests     atomic.Uint64
+	shed         atomic.Uint64
+	errors       atomic.Uint64
+	queueSeconds atomicFloat
+}
+
+// tenant returns (creating on demand) the counters of a tenant.
+func (m *metrics) tenant(name string) *tenantCounters {
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	tc, ok := m.tenants[name]
+	if !ok {
+		tc = &tenantCounters{}
+		m.tenants[name] = tc
+	}
+	return tc
+}
+
+// TenantSnapshot is the frozen per-tenant accounting: the completed-request
+// counters plus the scheduler's live admission gauges.
+type TenantSnapshot struct {
+	// Requests counts finished requests of the tenant, whatever the outcome.
+	Requests uint64
+	// Shed counts requests refused with ErrShed (quota rejections); sheds are
+	// not double-counted under Errors.
+	Shed uint64
+	// Errors counts failed requests other than sheds.
+	Errors uint64
+	// QueueSeconds is the total admission wait of the tenant's requests.
+	QueueSeconds float64
+	// Inflight / Queued are the live scheduler gauges.
+	Inflight int64
+	Queued   int
 }
 
 // Snapshot is a point-in-time copy of the engine's aggregate telemetry.
 type Snapshot struct {
-	// SourceSolve / SourceCache / SourceCoalesced count completed solve
-	// requests by where their answer came from.
+	// SourceSolve / SourceCache / SourceCoalesced / SourceNegative count
+	// completed solve requests by where their answer came from.
 	SourceSolve     uint64
 	SourceCache     uint64
 	SourceCoalesced uint64
-	// Errors counts failed solve requests (including deadline expiries).
+	SourceNegative  uint64
+	// Errors counts failed solve requests (including deadline expiries but
+	// not sheds — those are counted under Shed, keeping quota rejections
+	// distinct from genuine failures).
 	Errors uint64
+	// Shed counts requests refused over quota with ErrShed.
+	Shed uint64
 	// NodesTotal / IncumbentsTotal sum the per-solve search telemetry of
 	// fresh solves (cache replays are not double-counted).
 	NodesTotal      int64
@@ -199,6 +250,8 @@ type Snapshot struct {
 	// search-size distributions.
 	SolveSeconds Histogram
 	SolveNodes   Histogram
+	// Tenants is the per-tenant accounting, keyed by tenant name.
+	Tenants map[string]TenantSnapshot
 }
 
 // solveSecondsBuckets spans sub-millisecond heuristic solves up to the 2m
@@ -212,16 +265,36 @@ func newMetrics() *metrics {
 	return &metrics{
 		solveSeconds: newHistogram(solveSecondsBuckets),
 		solveNodes:   newHistogram(solveNodesBuckets),
+		tenants:      make(map[string]*tenantCounters),
 	}
 }
 
 // observe records one finished request. Only fresh solves contribute to the
 // node totals and histograms: cached answers replay stats that were already
-// counted when the original solve ran.
-func (m *metrics) observe(src solver.Source, ev *solver.Evaluation, err error, queued time.Duration) {
+// counted when the original solve ran. Sheds (quota rejections) are counted
+// distinctly from errors, globally and per tenant, so admission keeps the
+// shed-not-queue honesty of the load report: a refused request is neither a
+// failure of the solver nor silently dropped.
+func (m *metrics) observe(tenant string, src solver.Source, ev *solver.Evaluation, err error, queued time.Duration) {
 	m.queueSeconds.Add(queued.Seconds())
+	tc := m.tenant(tenant)
+	tc.requests.Add(1)
+	tc.queueSeconds.Add(queued.Seconds())
 	if err != nil {
+		var shed *ErrShed
+		if errors.As(err, &shed) {
+			m.shedTotal.Add(1)
+			tc.shed.Add(1)
+			return
+		}
+		if src == solver.SourceNegative {
+			// A negative-cache answer is a remembered failure: it is a served
+			// response, not a new error.
+			m.sourceNegative.Add(1)
+			return
+		}
 		m.errorsTotal.Add(1)
+		tc.errors.Add(1)
 		return
 	}
 	switch src {
@@ -238,13 +311,24 @@ func (m *metrics) observe(src solver.Source, ev *solver.Evaluation, err error, q
 	}
 }
 
+// observeShed accounts a quota rejection raised outside the solve pipeline
+// (the job manager's per-tenant pending bound).
+func (m *metrics) observeShed(tenant string) {
+	m.shedTotal.Add(1)
+	tc := m.tenant(tenant)
+	tc.requests.Add(1)
+	tc.shed.Add(1)
+}
+
 // Snapshot returns the engine's aggregate solve telemetry.
 func (e *Engine) Snapshot() Snapshot {
-	return Snapshot{
+	snap := Snapshot{
 		SourceSolve:     e.met.sourceSolve.Load(),
 		SourceCache:     e.met.sourceCache.Load(),
 		SourceCoalesced: e.met.sourceCoalesced.Load(),
+		SourceNegative:  e.met.sourceNegative.Load(),
 		Errors:          e.met.errorsTotal.Load(),
+		Shed:            e.met.shedTotal.Load(),
 		NodesTotal:      e.met.nodesTotal.Load(),
 		IncumbentsTotal: e.met.incumbentsTotal.Load(),
 		QueueSeconds:    e.met.queueSeconds.Load(),
@@ -252,5 +336,22 @@ func (e *Engine) Snapshot() Snapshot {
 		Waiting:         e.sem.Waiting(),
 		SolveSeconds:    e.met.solveSeconds.Snapshot(),
 		SolveNodes:      e.met.solveNodes.Snapshot(),
+		Tenants:         make(map[string]TenantSnapshot),
 	}
+	e.met.tmu.Lock()
+	for name, tc := range e.met.tenants {
+		snap.Tenants[name] = TenantSnapshot{
+			Requests:     tc.requests.Load(),
+			Shed:         tc.shed.Load(),
+			Errors:       tc.errors.Load(),
+			QueueSeconds: tc.queueSeconds.Load(),
+		}
+	}
+	e.met.tmu.Unlock()
+	for name, g := range e.sem.Gauges() {
+		ts := snap.Tenants[name]
+		ts.Inflight, ts.Queued = g.Inflight, g.Queued
+		snap.Tenants[name] = ts
+	}
+	return snap
 }

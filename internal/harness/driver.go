@@ -10,6 +10,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -73,6 +74,64 @@ func ParseMix(s string) (Mix, error) {
 
 func (m Mix) total() int { return m.Solve + m.Batch + m.Jobs }
 
+// TenantLoad is one tenant's slice of a multi-tenant load run: the tenant
+// name sent in the X-Tenant header, the admission weight to configure on an
+// in-process server, and the tenant's own open-loop arrival rate.
+type TenantLoad struct {
+	// Name is the tenant identity sent with every request.
+	Name string `json:"name"`
+	// Weight is the engine-side fair-share weight (only used when the caller
+	// also builds the server, e.g. crload's in-process stack); min 1.
+	Weight int64 `json:"weight"`
+	// Rate is the tenant's arrival rate in requests per second.
+	Rate float64 `json:"rate_per_sec"`
+}
+
+// ParseTenantLoads parses a "name:weight:rps" comma-separated multi-tenant
+// traffic spec, e.g. "gold:3:150,free:1:50". Weight and rps may be omitted
+// (weight defaults to 1, rps to the driver's global -rate).
+func ParseTenantLoads(spec string) ([]TenantLoad, error) {
+	var out []TenantLoad
+	seen := make(map[string]bool)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("harness: tenant spec %q: want name[:weight[:rps]]", entry)
+		}
+		tl := TenantLoad{Name: strings.TrimSpace(parts[0]), Weight: 1}
+		if tl.Name == "" {
+			return nil, fmt.Errorf("harness: tenant spec %q: empty name", entry)
+		}
+		if seen[tl.Name] {
+			return nil, fmt.Errorf("harness: tenant spec: duplicate tenant %q", tl.Name)
+		}
+		seen[tl.Name] = true
+		if len(parts) > 1 && strings.TrimSpace(parts[1]) != "" {
+			w, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("harness: tenant spec %q: weight must be a positive integer", entry)
+			}
+			tl.Weight = w
+		}
+		if len(parts) > 2 && strings.TrimSpace(parts[2]) != "" {
+			r, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+			if err != nil || r <= 0 {
+				return nil, fmt.Errorf("harness: tenant spec %q: rps must be a positive number", entry)
+			}
+			tl.Rate = r
+		}
+		out = append(out, tl)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: tenant spec %q: no tenants", spec)
+	}
+	return out, nil
+}
+
 // pick draws a class proportionally to the weights.
 func (m Mix) pick(rng *rand.Rand) string {
 	n := rng.Intn(m.total())
@@ -124,6 +183,11 @@ type Config struct {
 	BatchSize int
 	// MaxInflight caps concurrently outstanding requests (default 256).
 	MaxInflight int
+	// Tenants, when non-empty, turns the run multi-tenant: one arrival loop
+	// per tenant at its own Rate, every request carrying the tenant's name in
+	// the X-Tenant header, and the report gaining per-tenant accounting. When
+	// empty the run is anonymous at the global Rate.
+	Tenants []TenantLoad
 }
 
 // TelemetryAgg folds the per-solve engine telemetry of one request class, so
@@ -161,8 +225,13 @@ type ClassStats struct {
 	// Requests counts completed requests of the class (including failures).
 	Requests int `json:"requests"`
 	// Errors counts transport failures, non-2xx responses and failed batch
-	// results or jobs.
+	// results or jobs — excluding quota sheds, which Shed counts.
 	Errors int `json:"errors"`
+	// Shed counts responses the server refused over a tenant quota (HTTP 429
+	// with Retry-After, or a per-result shed flag in a batch response). Sheds
+	// are expected behaviour under overload, so they are counted apart from
+	// Errors.
+	Shed int `json:"shed"`
 	// Cancelled counts batch results marked cancelled and jobs that ended
 	// cancelled.
 	Cancelled int `json:"cancelled"`
@@ -182,6 +251,25 @@ type ClassStats struct {
 	Latency LatencySummary `json:"latency_ms"`
 }
 
+// TenantStats aggregates one tenant's slice of a multi-tenant run, across
+// all request classes.
+type TenantStats struct {
+	// Requests counts the tenant's completed requests (including failures).
+	Requests int `json:"requests"`
+	// Errors counts the tenant's failures, excluding quota sheds.
+	Errors int `json:"errors"`
+	// Shed counts the tenant's requests the server refused over quota.
+	Shed int `json:"shed"`
+	// Cancelled counts the tenant's cancelled batch results and jobs.
+	Cancelled int `json:"cancelled"`
+	// CacheServed counts the tenant's responses answered without a fresh solve.
+	CacheServed int `json:"cache_served"`
+	// Telemetry folds the engine telemetry of the tenant's solves.
+	Telemetry TelemetryAgg `json:"telemetry"`
+	// Latency summarises the tenant's request latencies in milliseconds.
+	Latency LatencySummary `json:"latency_ms"`
+}
+
 // Report is the outcome of one load run.
 type Report struct {
 	Seed        int64                  `json:"seed"`
@@ -190,8 +278,13 @@ type Report struct {
 	DurationSec float64                `json:"duration_sec"`
 	Requests    int                    `json:"requests"`
 	Shed        int                    `json:"shed"`
+	ServerShed  int                    `json:"server_shed"`
 	Throughput  float64                `json:"throughput_rps"`
 	Classes     map[string]*ClassStats `json:"classes"`
+	// Tenants holds per-tenant accounting for multi-tenant runs (empty for
+	// anonymous runs). Shed above counts arrivals the driver itself dropped
+	// at its MaxInflight cap; ServerShed counts quota refusals by the server.
+	Tenants map[string]*TenantStats `json:"tenants,omitempty"`
 	// Validated counts responses the invariant oracle checked;
 	// ViolationCount is the total number of failures and Violations lists
 	// their messages (bounded — past the cap a truncation sentinel stands in
@@ -213,10 +306,13 @@ type Driver struct {
 	cfg    Config
 	oracle *Oracle
 
-	mu        sync.Mutex
-	latencies map[string][]float64
-	classes   map[string]*ClassStats
-	shed      int
+	mu              sync.Mutex
+	latencies       map[string][]float64
+	classes         map[string]*ClassStats
+	tenantLatencies map[string][]float64
+	tenants         map[string]*TenantStats
+	shed            int
+	serverShed      int
 }
 
 // NewDriver validates the configuration and applies defaults.
@@ -254,16 +350,28 @@ func NewDriver(cfg Config) (*Driver, error) {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 256
 	}
-	return &Driver{
-		cfg:       cfg,
-		oracle:    NewOracle(),
-		latencies: make(map[string][]float64),
+	d := &Driver{
+		cfg:             cfg,
+		oracle:          NewOracle(),
+		latencies:       make(map[string][]float64),
+		tenantLatencies: make(map[string][]float64),
+		tenants:         make(map[string]*TenantStats),
 		classes: map[string]*ClassStats{
 			ClassSolve: {},
 			ClassBatch: {},
 			ClassJobs:  {},
 		},
-	}, nil
+	}
+	for _, tl := range cfg.Tenants {
+		if tl.Name == "" {
+			return nil, errors.New("harness: Config.Tenants entries need a name")
+		}
+		if _, dup := d.tenants[tl.Name]; dup {
+			return nil, fmt.Errorf("harness: duplicate tenant %q", tl.Name)
+		}
+		d.tenants[tl.Name] = &TenantStats{}
+	}
+	return d, nil
 }
 
 // Oracle exposes the driver's invariant oracle (for callers that want to
@@ -284,59 +392,84 @@ func (d *Driver) Run(ctx context.Context) (*Report, error) {
 	rng := rand.New(rand.NewSource(d.cfg.Corpus.Seed))
 	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
 
-	interval := time.Duration(float64(time.Second) / d.cfg.Rate)
-	if interval <= 0 {
-		interval = time.Millisecond
+	// Anonymous runs are a single unnamed tenant at the global rate; the
+	// per-tenant loops below degenerate to the old single arrival loop.
+	loads := d.cfg.Tenants
+	if len(loads) == 0 {
+		loads = []TenantLoad{{Rate: d.cfg.Rate}}
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	deadline := time.NewTimer(d.cfg.Duration)
-	defer deadline.Stop()
 
-	var wg sync.WaitGroup
+	// stop ends arrival generation at the deadline; requests already in
+	// flight still finish within their own timeouts.
+	stop := make(chan struct{})
+	stopper := time.AfterFunc(d.cfg.Duration, func() { close(stop) })
+	defer stopper.Stop()
+
+	var wg sync.WaitGroup    // in-flight requests
+	var loops sync.WaitGroup // arrival loops
 	inflight := make(chan struct{}, d.cfg.MaxInflight)
 	start := time.Now()
-	next := 0
 
-loop:
-	for {
-		select {
-		case <-ctx.Done():
-			break loop
-		case <-deadline.C:
-			break loop
-		case <-ticker.C:
-			class := d.cfg.Mix.pick(rng)
-			item := items[next%len(items)]
-			at := next
-			next++
-			select {
-			case inflight <- struct{}{}:
-			default:
-				d.mu.Lock()
-				d.shed++
-				d.mu.Unlock()
-				continue
+	for ti, tl := range loads {
+		loops.Add(1)
+		go func(ti int, tl TenantLoad) {
+			defer loops.Done()
+			// Each tenant draws classes from its own deterministic stream and
+			// walks the corpus from its own offset, so tenants overlap on
+			// instances (exercising the shared cache) without being identical.
+			rng := rand.New(rand.NewSource(d.cfg.Corpus.Seed + int64(ti)*7919))
+			rate := tl.Rate
+			if rate <= 0 {
+				rate = d.cfg.Rate
 			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() { <-inflight }()
-				rctx, cancel := context.WithTimeout(ctx, d.cfg.RequestTimeout)
-				defer cancel()
-				began := time.Now()
-				switch class {
-				case ClassSolve:
-					d.doSolve(rctx, item)
-				case ClassBatch:
-					d.doBatch(rctx, items, at)
-				case ClassJobs:
-					d.doJob(rctx, item)
+			interval := time.Duration(float64(time.Second) / rate)
+			if interval <= 0 {
+				interval = time.Millisecond
+			}
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			next := ti * 7
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-stop:
+					return
+				case <-ticker.C:
+					class := d.cfg.Mix.pick(rng)
+					item := items[next%len(items)]
+					at := next
+					next++
+					select {
+					case inflight <- struct{}{}:
+					default:
+						d.mu.Lock()
+						d.shed++
+						d.mu.Unlock()
+						continue
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						defer func() { <-inflight }()
+						rctx, cancel := context.WithTimeout(ctx, d.cfg.RequestTimeout)
+						defer cancel()
+						began := time.Now()
+						switch class {
+						case ClassSolve:
+							d.doSolve(rctx, tl.Name, item)
+						case ClassBatch:
+							d.doBatch(rctx, tl.Name, items, at)
+						case ClassJobs:
+							d.doJob(rctx, tl.Name, item)
+						}
+						d.record(class, tl.Name, time.Since(began))
+					}()
 				}
-				d.record(class, time.Since(began))
-			}()
-		}
+			}
+		}(ti, tl)
 	}
+	loops.Wait()
 	wg.Wait()
 	elapsed := time.Since(start)
 
@@ -347,26 +480,41 @@ loop:
 	return d.report(elapsed, before.Delta(after)), nil
 }
 
-// record stores the class latency and bumps the request count.
-func (d *Driver) record(class string, elapsed time.Duration) {
+// record stores the class (and tenant) latency and bumps the request counts.
+func (d *Driver) record(class, tenant string, elapsed time.Duration) {
 	ms := float64(elapsed) / float64(time.Millisecond)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.latencies[class] = append(d.latencies[class], ms)
 	d.classes[class].Requests++
+	if ts := d.tenants[tenant]; ts != nil {
+		d.tenantLatencies[tenant] = append(d.tenantLatencies[tenant], ms)
+		ts.Requests++
+	}
 }
 
 // maxErrorSamples bounds the per-class error strings kept verbatim.
 const maxErrorSamples = 5
 
-// countTelemetry folds one solve's telemetry into its class aggregate.
-func (d *Driver) countTelemetry(class string, tel *engine.Telemetry, source string) {
+// countTelemetry folds one solve's telemetry into its class and tenant
+// aggregates.
+func (d *Driver) countTelemetry(class, tenant string, tel *engine.Telemetry, source string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.classes[class].Telemetry.add(tel, source)
+	if ts := d.tenants[tenant]; ts != nil {
+		ts.Telemetry.add(tel, source)
+	}
 }
 
-func (d *Driver) countError(class string, err error) {
+// countError books a failure against the class and tenant. Quota sheds (429
+// responses) are counted apart from errors: they are the admission policy
+// working, not the server misbehaving.
+func (d *Driver) countError(class, tenant string, err error) {
+	if isShed(err) {
+		d.countShed(class, tenant)
+		return
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	cs := d.classes[class]
@@ -374,11 +522,49 @@ func (d *Driver) countError(class string, err error) {
 	if err != nil && len(cs.ErrorSamples) < maxErrorSamples {
 		cs.ErrorSamples = append(cs.ErrorSamples, err.Error())
 	}
+	if ts := d.tenants[tenant]; ts != nil {
+		ts.Errors++
+	}
 }
 
-// post sends a JSON body and decodes a JSON response into out. Non-2xx
-// responses are returned as errors carrying the server's message.
-func (d *Driver) post(ctx context.Context, path string, body, out any) error {
+func (d *Driver) countShed(class, tenant string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.serverShed++
+	d.classes[class].Shed++
+	if ts := d.tenants[tenant]; ts != nil {
+		ts.Shed++
+	}
+}
+
+func (d *Driver) countCancelled(class, tenant string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.classes[class].Cancelled++
+	if ts := d.tenants[tenant]; ts != nil {
+		ts.Cancelled++
+	}
+}
+
+// httpError is a non-2xx response, typed so callers can tell quota sheds
+// (429) apart from genuine failures.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// isShed reports whether the error is a server-side quota refusal (429).
+func isShed(err error) bool {
+	var he *httpError
+	return errors.As(err, &he) && he.status == http.StatusTooManyRequests
+}
+
+// post sends a JSON body (under the tenant's identity, when set) and decodes
+// a JSON response into out. Non-2xx responses are returned as *httpError
+// carrying the status and the server's message.
+func (d *Driver) post(ctx context.Context, tenant, path string, body, out any) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -388,6 +574,9 @@ func (d *Driver) post(ctx context.Context, path string, body, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(service.TenantHeader, tenant)
+	}
 	resp, err := d.cfg.Client.Do(req)
 	if err != nil {
 		return err
@@ -400,42 +589,45 @@ func (d *Driver) post(ctx context.Context, path string, body, out any) error {
 	if resp.StatusCode/100 != 2 {
 		var apiErr service.ErrorResponse
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, apiErr.Error)
+			return &httpError{status: resp.StatusCode, msg: fmt.Sprintf("%s: %s", resp.Status, apiErr.Error)}
 		}
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+		return &httpError{status: resp.StatusCode, msg: fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(data)))}
 	}
 	return json.Unmarshal(data, out)
 }
 
 // doSolve fires one synchronous solve and revalidates the returned schedule.
-func (d *Driver) doSolve(ctx context.Context, item Item) {
+func (d *Driver) doSolve(ctx context.Context, tenant string, item Item) {
 	var resp service.SolveResponse
-	err := d.post(ctx, "/v1/solve", service.SolveRequest{
+	err := d.post(ctx, tenant, "/v1/solve", service.SolveRequest{
 		Solver:          d.cfg.Solver,
 		Instance:        item.Inst,
 		Timeout:         d.cfg.SolveTimeout.String(),
 		IncludeSchedule: true,
 	}, &resp)
 	if err != nil {
-		d.countError(ClassSolve, err)
+		d.countError(ClassSolve, tenant, err)
 		return
 	}
 	if resp.Source != "solve" {
 		d.mu.Lock()
 		d.classes[ClassSolve].CacheServed++
+		if ts := d.tenants[tenant]; ts != nil {
+			ts.CacheServed++
+		}
 		d.mu.Unlock()
 	}
-	d.countTelemetry(ClassSolve, resp.Telemetry, resp.Source)
+	d.countTelemetry(ClassSolve, tenant, resp.Telemetry, resp.Source)
 	label := fmt.Sprintf("solve %s/%s", item.Family, item.Inst.Fingerprint().Short())
 	if err := d.oracle.CheckSchedule(label, item.Inst, resp.Schedule, resp.Makespan, resp.Wasted); err != nil {
-		d.countError(ClassSolve, err)
+		d.countError(ClassSolve, tenant, err)
 	}
 }
 
 // doBatch fires one batch solve over a window of the corpus and sanity-checks
 // every per-instance result (batch responses carry no schedules, so the
 // oracle can only hold makespans against the lower bounds).
-func (d *Driver) doBatch(ctx context.Context, items []Item, at int) {
+func (d *Driver) doBatch(ctx context.Context, tenant string, items []Item, at int) {
 	batch := make([]Item, 0, d.cfg.BatchSize)
 	for i := 0; i < d.cfg.BatchSize; i++ {
 		batch = append(batch, items[(at+i)%len(items)])
@@ -445,26 +637,26 @@ func (d *Driver) doBatch(ctx context.Context, items []Item, at int) {
 		req.Instances = append(req.Instances, it.Inst)
 	}
 	var resp service.BatchResponse
-	if err := d.post(ctx, "/v1/batch-solve", req, &resp); err != nil {
-		d.countError(ClassBatch, err)
+	if err := d.post(ctx, tenant, "/v1/batch-solve", req, &resp); err != nil {
+		d.countError(ClassBatch, tenant, err)
 		return
 	}
 	for _, res := range resp.Results {
 		switch {
+		case res.Shed:
+			d.countShed(ClassBatch, tenant)
 		case res.Cancelled:
-			d.mu.Lock()
-			d.classes[ClassBatch].Cancelled++
-			d.mu.Unlock()
+			d.countCancelled(ClassBatch, tenant)
 		case res.Error != "":
-			d.countError(ClassBatch, errors.New(res.Error))
+			d.countError(ClassBatch, tenant, errors.New(res.Error))
 		case res.Index < 0 || res.Index >= len(batch):
-			d.countError(ClassBatch, fmt.Errorf("batch response index %d outside [0,%d)", res.Index, len(batch)))
+			d.countError(ClassBatch, tenant, fmt.Errorf("batch response index %d outside [0,%d)", res.Index, len(batch)))
 		default:
 			it := batch[res.Index]
-			d.countTelemetry(ClassBatch, res.Telemetry, res.Source)
+			d.countTelemetry(ClassBatch, tenant, res.Telemetry, res.Source)
 			label := fmt.Sprintf("batch %s/%s", it.Family, it.Inst.Fingerprint().Short())
 			if err := d.oracle.CheckMakespan(label, it.Inst, res.Makespan); err != nil {
-				d.countError(ClassBatch, err)
+				d.countError(ClassBatch, tenant, err)
 			}
 		}
 	}
@@ -472,11 +664,11 @@ func (d *Driver) doBatch(ctx context.Context, items []Item, at int) {
 
 // doJob submits an asynchronous job, follows its SSE stream to the terminal
 // state and revalidates the final schedule.
-func (d *Driver) doJob(ctx context.Context, item Item) {
+func (d *Driver) doJob(ctx context.Context, tenant string, item Item) {
 	var snap jobs.Snapshot
 	req := service.JobRequest{Solver: d.cfg.Solver, Instance: item.Inst, Timeout: d.cfg.JobTimeout.String()}
-	if err := d.post(ctx, "/v1/jobs", req, &snap); err != nil {
-		d.countError(ClassJobs, err)
+	if err := d.post(ctx, tenant, "/v1/jobs", req, &snap); err != nil {
+		d.countError(ClassJobs, tenant, err)
 		return
 	}
 	incumbents, err := d.followEvents(ctx, snap.ID)
@@ -484,34 +676,32 @@ func (d *Driver) doJob(ctx context.Context, item Item) {
 	d.classes[ClassJobs].Incumbents += incumbents
 	d.mu.Unlock()
 	if err != nil {
-		d.countError(ClassJobs, err)
+		d.countError(ClassJobs, tenant, err)
 		return
 	}
 	final, err := d.getJob(ctx, snap.ID)
 	if err != nil {
-		d.countError(ClassJobs, err)
+		d.countError(ClassJobs, tenant, err)
 		return
 	}
 	switch final.State {
 	case jobs.StateDone:
 		if final.Result != nil {
-			d.countTelemetry(ClassJobs, final.Result.Telemetry, final.Result.Source)
+			d.countTelemetry(ClassJobs, tenant, final.Result.Telemetry, final.Result.Source)
 		}
 		label := fmt.Sprintf("job %s %s/%s", final.ID, item.Family, item.Inst.Fingerprint().Short())
 		if final.Result == nil {
 			err := d.oracle.CheckSchedule(label, item.Inst, nil, -1, -1)
-			d.countError(ClassJobs, err)
+			d.countError(ClassJobs, tenant, err)
 			return
 		}
 		if err := d.oracle.CheckSchedule(label, item.Inst, final.Result.Schedule, final.Result.Makespan, final.Result.Wasted); err != nil {
-			d.countError(ClassJobs, err)
+			d.countError(ClassJobs, tenant, err)
 		}
 	case jobs.StateCancelled:
-		d.mu.Lock()
-		d.classes[ClassJobs].Cancelled++
-		d.mu.Unlock()
+		d.countCancelled(ClassJobs, tenant)
 	default:
-		d.countError(ClassJobs, fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error))
+		d.countError(ClassJobs, tenant, fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error))
 	}
 }
 
@@ -576,6 +766,7 @@ func (d *Driver) report(elapsed time.Duration, delta MetricsSnapshot) *Report {
 		RatePerSec:     d.cfg.Rate,
 		DurationSec:    elapsed.Seconds(),
 		Shed:           d.shed,
+		ServerShed:     d.serverShed,
 		Classes:        make(map[string]*ClassStats, len(d.classes)),
 		Validated:      d.oracle.Validated(),
 		ViolationCount: d.oracle.ViolationCount(),
@@ -589,6 +780,14 @@ func (d *Driver) report(elapsed time.Duration, delta MetricsSnapshot) *Report {
 		c.Latency = summarizeLatency(d.latencies[class])
 		rep.Classes[class] = &c
 		rep.Requests += c.Requests
+	}
+	if len(d.tenants) > 0 {
+		rep.Tenants = make(map[string]*TenantStats, len(d.tenants))
+		for name, ts := range d.tenants {
+			t := *ts
+			t.Latency = summarizeLatency(d.tenantLatencies[name])
+			rep.Tenants[name] = &t
+		}
 	}
 	if elapsed > 0 {
 		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()

@@ -4,8 +4,11 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
+
+	"crsharing/internal/engine"
 )
 
 // newHarnessServer wires the full stack — one shared engine, job manager,
@@ -143,6 +146,135 @@ func TestDriverCountsServerErrors(t *testing.T) {
 	}
 	if len(cs.ErrorSamples) == 0 {
 		t.Fatal("no error samples recorded")
+	}
+}
+
+// TestDriverPerTenantAccounting runs a two-tenant load and checks the
+// per-tenant slices are complete: every request lands in exactly one tenant
+// bucket, so the tenant sums reproduce the global and per-class totals.
+func TestDriverPerTenantAccounting(t *testing.T) {
+	stack, err := NewStack(StackConfig{
+		DefaultSolver: "greedy-balance",
+		MaxConcurrent: 32,
+		Workers:       2,
+		QueueDepth:    256,
+		Tenants: map[string]engine.TenantConfig{
+			"gold": {Weight: 3},
+			"free": {Weight: 1},
+		},
+		JobDefaultTimeout: 10 * time.Second,
+		JobMaxTimeout:     30 * time.Second,
+		Version:           "harness-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := stack.Close(); err != nil {
+			t.Errorf("stack close: %v", err)
+		}
+	})
+	d, err := NewDriver(Config{
+		BaseURL: stack.URL,
+		Corpus:  BuildCorpus(1),
+		Mix:     Mix{Solve: 6, Batch: 2, Jobs: 2},
+		Tenants: []TenantLoad{
+			{Name: "gold", Weight: 3, Rate: 250},
+			{Name: "free", Weight: 1, Rate: 150},
+		},
+		Duration: 700 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rep.Tenants) != 2 || rep.Tenants["gold"] == nil || rep.Tenants["free"] == nil {
+		t.Fatalf("tenant buckets wrong: %v", rep.Tenants)
+	}
+	var sum TenantStats
+	for name, ts := range rep.Tenants {
+		if ts.Requests == 0 {
+			t.Errorf("tenant %s saw no traffic", name)
+		}
+		if ts.Latency.Count == 0 {
+			t.Errorf("tenant %s has no latency summary", name)
+		}
+		sum.Requests += ts.Requests
+		sum.Errors += ts.Errors
+		sum.Shed += ts.Shed
+		sum.Cancelled += ts.Cancelled
+		sum.CacheServed += ts.CacheServed
+	}
+	var classes ClassStats
+	for _, cs := range rep.Classes {
+		classes.Requests += cs.Requests
+		classes.Errors += cs.Errors
+		classes.Shed += cs.Shed
+		classes.Cancelled += cs.Cancelled
+		classes.CacheServed += cs.CacheServed
+	}
+	if sum.Requests != rep.Requests || sum.Requests != classes.Requests {
+		t.Errorf("tenant requests %d, global %d, classes %d — must all agree",
+			sum.Requests, rep.Requests, classes.Requests)
+	}
+	if sum.Errors != classes.Errors {
+		t.Errorf("tenant errors %d != class errors %d", sum.Errors, classes.Errors)
+	}
+	if sum.Shed != rep.ServerShed || sum.Shed != classes.Shed {
+		t.Errorf("tenant sheds %d, server-shed %d, class sheds %d — must all agree",
+			sum.Shed, rep.ServerShed, classes.Shed)
+	}
+	if sum.Cancelled != classes.Cancelled {
+		t.Errorf("tenant cancelled %d != class cancelled %d", sum.Cancelled, classes.Cancelled)
+	}
+	if sum.CacheServed != classes.CacheServed {
+		t.Errorf("tenant cache-served %d != class cache-served %d", sum.CacheServed, classes.CacheServed)
+	}
+	if rep.ViolationCount != 0 {
+		t.Errorf("invariant violations: %v", rep.Violations)
+	}
+	// Both tenants replay the shared duplicate-heavy corpus, so their solves
+	// must fold engine telemetry like the class aggregates do.
+	for name, ts := range rep.Tenants {
+		total := 0
+		for _, n := range ts.Telemetry.Sources {
+			total += n
+		}
+		if total == 0 {
+			t.Errorf("tenant %s aggregated no telemetry sources: %+v", name, ts.Telemetry)
+		}
+	}
+	if txt := rep.Text(); !strings.Contains(txt, "gold") || !strings.Contains(txt, "free") {
+		t.Error("text report omits the per-tenant block")
+	}
+}
+
+func TestParseTenantLoads(t *testing.T) {
+	got, err := ParseTenantLoads("gold:3:80, free:1:40 ,plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TenantLoad{
+		{Name: "gold", Weight: 3, Rate: 80},
+		{Name: "free", Weight: 1, Rate: 40},
+		{Name: "plain", Weight: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ParseTenantLoads = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", ":3", "a:0", "a:x", "a:1:0", "a:1:x", "a:1:2:3", "dup:1,dup:2"} {
+		if _, err := ParseTenantLoads(bad); err == nil {
+			t.Fatalf("ParseTenantLoads(%q) accepted", bad)
+		}
 	}
 }
 

@@ -64,7 +64,7 @@ func (r *Report) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "crload: seed=%d rate=%g/s duration=%.2fs mix=solve:%d,batch:%d,jobs:%d\n",
 		r.Seed, r.RatePerSec, r.DurationSec, r.Mix.Solve, r.Mix.Batch, r.Mix.Jobs)
-	fmt.Fprintf(&b, "requests=%d shed=%d throughput=%.1f req/s\n", r.Requests, r.Shed, r.Throughput)
+	fmt.Fprintf(&b, "requests=%d shed=%d server-shed=%d throughput=%.1f req/s\n", r.Requests, r.Shed, r.ServerShed, r.Throughput)
 
 	classes := make([]string, 0, len(r.Classes))
 	for c := range r.Classes {
@@ -73,7 +73,7 @@ func (r *Report) Text() string {
 	sort.Strings(classes)
 	for _, class := range classes {
 		cs := r.Classes[class]
-		fmt.Fprintf(&b, "\n[%s] requests=%d errors=%d cancelled=%d", class, cs.Requests, cs.Errors, cs.Cancelled)
+		fmt.Fprintf(&b, "\n[%s] requests=%d errors=%d shed=%d cancelled=%d", class, cs.Requests, cs.Errors, cs.Shed, cs.Cancelled)
 		if class == ClassSolve {
 			fmt.Fprintf(&b, " cache-served=%d", cs.CacheServed)
 		}
@@ -103,6 +103,24 @@ func (r *Report) Text() string {
 			for _, line := range strings.Split(strings.TrimRight(cs.Latency.Histogram, "\n"), "\n") {
 				fmt.Fprintf(&b, "  %s\n", line)
 			}
+		}
+	}
+
+	if len(r.Tenants) > 0 {
+		names := make([]string, 0, len(r.Tenants))
+		for n := range r.Tenants {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteByte('\n')
+		for _, n := range names {
+			ts := r.Tenants[n]
+			fmt.Fprintf(&b, "tenant %-12s requests=%d errors=%d shed=%d cancelled=%d cache-served=%d",
+				n, ts.Requests, ts.Errors, ts.Shed, ts.Cancelled, ts.CacheServed)
+			if ts.Latency.Count > 0 {
+				fmt.Fprintf(&b, " p50=%.3fms p99=%.3fms", ts.Latency.P50MS, ts.Latency.P99MS)
+			}
+			b.WriteByte('\n')
 		}
 	}
 

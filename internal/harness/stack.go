@@ -31,6 +31,25 @@ type StackConfig struct {
 	JobDefaultTimeout, JobMaxTimeout time.Duration
 	// Version is reported by /healthz (default "harness").
 	Version string
+	// Tenants are per-tenant admission quotas for the engine's fair
+	// scheduler; empty leaves every tenant on TenantDefaults.
+	Tenants map[string]engine.TenantConfig
+	// TenantDefaults is the admission policy of unconfigured tenants.
+	TenantDefaults engine.TenantConfig
+	// ShedRetryAfter is the back-off hint attached to quota sheds (default
+	// the engine's 1s).
+	ShedRetryAfter time.Duration
+	// APIKeys maps API keys to tenant names for requests that authenticate
+	// with X-API-Key instead of X-Tenant.
+	APIKeys map[string]string
+	// CacheDir, when set, persists the memo cache there: warm-loaded on
+	// start, flushed every CacheFlush (default 30s) and on Close.
+	CacheDir string
+	// CacheFlush is the periodic flush interval of the cache persister.
+	CacheFlush time.Duration
+	// NegativeTTL, when positive, remembers deterministic solve failures for
+	// that long and replays them without re-solving.
+	NegativeTTL time.Duration
 }
 
 // Stack is the full production stack — one shared engine (registry, memo
@@ -46,8 +65,12 @@ type Stack struct {
 	Manager *jobs.Manager
 	// Server is the HTTP layer.
 	Server *service.Server
+	// CacheLoad reports what the cache persister restored on start (zero
+	// when no CacheDir is configured).
+	CacheLoad solver.LoadReport
 
-	listener *httptest.Server
+	listener  *httptest.Server
+	persister *solver.Persister
 }
 
 // NewStack wires registry, shared engine, job manager and HTTP layer behind
@@ -81,13 +104,38 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		cfg.Version = "harness"
 	}
 
+	cache := solver.NewCache(cfg.CacheShards, cfg.CacheCapacity)
+	if cfg.NegativeTTL > 0 {
+		cache.SetNegativeTTL(cfg.NegativeTTL)
+	}
+	var persister *solver.Persister
+	var loadRep solver.LoadReport
+	if cfg.CacheDir != "" {
+		p, err := solver.NewPersister(cache, cfg.CacheDir, cfg.CacheFlush)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		rep, err := p.Load()
+		if err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		p.Start()
+		persister, loadRep = p, rep
+	}
+
 	eng, err := engine.New(engine.Config{
-		Registry:      solver.Default(),
-		Cache:         solver.NewCache(cfg.CacheShards, cfg.CacheCapacity),
-		DefaultSolver: cfg.DefaultSolver,
-		MaxConcurrent: cfg.MaxConcurrent,
+		Registry:       solver.Default(),
+		Cache:          cache,
+		DefaultSolver:  cfg.DefaultSolver,
+		MaxConcurrent:  cfg.MaxConcurrent,
+		Tenants:        cfg.Tenants,
+		TenantDefaults: cfg.TenantDefaults,
+		ShedRetryAfter: cfg.ShedRetryAfter,
 	})
 	if err != nil {
+		if persister != nil {
+			_ = persister.Close()
+		}
 		return nil, fmt.Errorf("harness: %w", err)
 	}
 	manager, err := jobs.New(jobs.Config{
@@ -99,35 +147,50 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		MaxTimeout:     cfg.JobMaxTimeout,
 	})
 	if err != nil {
+		if persister != nil {
+			_ = persister.Close()
+		}
 		return nil, fmt.Errorf("harness: %w", err)
 	}
 	srv, err := service.New(service.Config{
 		Engine:  eng,
 		Jobs:    manager,
 		Version: cfg.Version,
+		APIKeys: cfg.APIKeys,
 	})
 	if err != nil {
 		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = manager.Close(cctx)
+		if persister != nil {
+			_ = persister.Close()
+		}
 		return nil, fmt.Errorf("harness: %w", err)
 	}
 	ts := httptest.NewServer(srv.Handler())
 	return &Stack{
-		URL:      ts.URL,
-		Engine:   eng,
-		Manager:  manager,
-		Server:   srv,
-		listener: ts,
+		URL:       ts.URL,
+		Engine:    eng,
+		Manager:   manager,
+		Server:    srv,
+		CacheLoad: loadRep,
+		listener:  ts,
+		persister: persister,
 	}, nil
 }
 
 // Close tears the stack down in order: listener first (drains handlers),
-// then the job manager (cancels running jobs). It returns the manager's
-// shutdown error, if any.
+// then the job manager (cancels running jobs), then the cache persister
+// (final flush). It returns the first error.
 func (s *Stack) Close() error {
 	s.listener.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	return s.Manager.Close(ctx)
+	err := s.Manager.Close(ctx)
+	if s.persister != nil {
+		if perr := s.persister.Close(); err == nil {
+			err = perr
+		}
+	}
+	return err
 }

@@ -152,7 +152,7 @@ func runBatchSequence(t *testing.T, solverName string, seq []*core.Instance) []e
 	defer cancel()
 	out := make([]engine.Telemetry, len(seq))
 	for i, inst := range seq {
-		outcomes := eng.SolveEach(ctx, solverName, []*core.Instance{inst}, 1)
+		outcomes := eng.SolveEach(ctx, "", solverName, []*core.Instance{inst}, 1)
 		if len(outcomes) != 1 || outcomes[0].Err != nil {
 			t.Fatalf("batch request %d: %+v", i, outcomes)
 		}

@@ -76,6 +76,12 @@ type Request struct {
 	// not count). Zero uses the manager default; values above the manager
 	// maximum are clamped.
 	Timeout time.Duration `json:"timeout,omitempty"`
+	// Tenant is the tenant the job is accounted under: its solve is admitted
+	// under the tenant's fair-scheduler quota, and the tenant's MaxQueued
+	// bound also caps how many of its jobs may sit in the queue at once
+	// (rejections are engine.ErrShed, mapped to 429 by the HTTP surface).
+	// Empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Incumbent is one improving solution observed while a job was running.
@@ -113,6 +119,7 @@ type Snapshot struct {
 	ID          string      `json:"id"`
 	State       State       `json:"state"`
 	Solver      string      `json:"solver"`
+	Tenant      string      `json:"tenant,omitempty"`
 	Fingerprint string      `json:"fingerprint"`
 	Submitted   time.Time   `json:"submitted"`
 	Started     time.Time   `json:"started,omitzero"`
@@ -261,6 +268,33 @@ type Manager struct {
 	// frees its slot immediately even though the stale *job stays in the
 	// channel until a worker drains it.
 	queued atomic.Int64
+	// pendingByTenant slices the queued counter per tenant: the engine's
+	// per-tenant MaxQueued quota also bounds each tenant's share of the job
+	// queue, so one tenant cannot fill it. Guarded by pendingMu (not m.mu:
+	// run decrements without the manager lock).
+	pendingMu       sync.Mutex
+	pendingByTenant map[string]int
+}
+
+// pendingAdd moves a tenant's pending-job count by delta and returns the new
+// value.
+func (m *Manager) pendingAdd(tenant string, delta int) int {
+	m.pendingMu.Lock()
+	defer m.pendingMu.Unlock()
+	n := m.pendingByTenant[tenant] + delta
+	if n <= 0 {
+		delete(m.pendingByTenant, tenant)
+		return 0
+	}
+	m.pendingByTenant[tenant] = n
+	return n
+}
+
+// pendingOf returns a tenant's current pending-job count.
+func (m *Manager) pendingOf(tenant string) int {
+	m.pendingMu.Lock()
+	defer m.pendingMu.Unlock()
+	return m.pendingByTenant[tenant]
 }
 
 // New validates the configuration, restores any stored records and starts
@@ -302,7 +336,7 @@ func New(cfg Config) (*Manager, error) {
 		cfg.MaxRecords = 4096
 	}
 
-	m := &Manager{cfg: cfg, jobs: make(map[string]*job)}
+	m := &Manager{cfg: cfg, jobs: make(map[string]*job), pendingByTenant: make(map[string]int)}
 	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
 
 	var restored []*job
@@ -337,6 +371,10 @@ func New(cfg Config) (*Manager, error) {
 				j.snap.State = StatePending
 				j.snap.Started, j.snap.Finished = time.Time{}, time.Time{}
 				j.snap.Incumbents, j.snap.Error = nil, ""
+				if j.req.Tenant == "" {
+					j.req.Tenant = engine.DefaultTenant
+					j.snap.Tenant = engine.DefaultTenant
+				}
 				j.fp = j.req.Instance.Fingerprint()
 				restored = append(restored, j)
 			}
@@ -354,6 +392,7 @@ func New(cfg Config) (*Manager, error) {
 	m.queue = make(chan *job, 2*cfg.QueueDepth+len(restored))
 	for _, j := range restored {
 		m.queued.Add(1)
+		m.pendingAdd(j.req.Tenant, 1)
 		m.queue <- j
 	}
 
@@ -391,6 +430,16 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 	if req.Timeout > m.cfg.MaxTimeout {
 		req.Timeout = m.cfg.MaxTimeout
 	}
+	if req.Tenant == "" {
+		req.Tenant = engine.DefaultTenant
+	}
+	// The tenant's MaxQueued quota bounds its share of the job queue the same
+	// way it bounds its admission queue; an over-quota submit is shed (a
+	// typed 429-with-Retry-After refusal), not an ErrQueueFull (the global
+	// bound below).
+	if quota := m.cfg.Engine.Tenant(req.Tenant).MaxQueued; m.pendingOf(req.Tenant) >= quota {
+		return Snapshot{}, fmt.Errorf("jobs: %w", m.cfg.Engine.Shed(req.Tenant, fmt.Sprintf("job queue quota (%d pending)", quota)))
+	}
 	req.Instance = req.Instance.Clone() // detach from the caller
 
 	j := &job{
@@ -403,6 +452,7 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 		ID:          newID(),
 		State:       StatePending,
 		Solver:      req.Solver,
+		Tenant:      req.Tenant,
 		Fingerprint: j.fp.String(),
 		Submitted:   time.Now().UTC(),
 	}
@@ -423,6 +473,7 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 	select {
 	case m.queue <- j:
 		m.queued.Add(1)
+		m.pendingAdd(req.Tenant, 1)
 	default:
 		// The channel can lag the counter while cancelled-but-queued jobs
 		// wait for a worker to drain them.
@@ -463,6 +514,7 @@ func (m *Manager) run(j *job) {
 	start := time.Now()
 	j.mu.Unlock()
 	m.queued.Add(-1)
+	m.pendingAdd(j.req.Tenant, -1)
 
 	m.running.Add(1)
 	defer m.running.Add(-1)
@@ -474,6 +526,7 @@ func (m *Manager) run(j *job) {
 		Instance:    j.req.Instance,
 		Fingerprint: &j.fp,
 		Timeout:     j.req.Timeout,
+		Tenant:      j.req.Tenant,
 		Limits:      &limits,
 		Observer: func(inc progress.Incumbent) {
 			m.observe(j, start, inc)
@@ -694,6 +747,7 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 		snap := j.snap.clone()
 		j.mu.Unlock()
 		m.queued.Add(-1) // the stale queue entry no longer counts against the bound
+		m.pendingAdd(j.req.Tenant, -1)
 		m.dropFromQueue(j)
 		m.cancelled.Add(1)
 		m.persist(j)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"crsharing/internal/engine"
 	"crsharing/internal/jobs"
 )
 
@@ -17,6 +18,11 @@ import (
 // (much larger) maximum.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requestsJobs.Add(1)
+	tenant, status, terr := s.tenantFor(r)
+	if terr != nil {
+		s.fail(w, status, terr)
+		return
+	}
 	var req JobRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -38,10 +44,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Solver:   req.Solver,
 		Instance: req.Instance,
 		Timeout:  timeout,
+		Tenant:   tenant,
 	})
+	var shed *engine.ErrShed
 	switch {
 	case err == nil:
 		s.respond(w, http.StatusAccepted, snap)
+	case errors.As(err, &shed):
+		s.failShed(w, shed)
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.fail(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, jobs.ErrClosed):

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,9 @@ type metrics struct {
 	batchInstances  atomic.Uint64
 	batchCancelled  atomic.Uint64
 	deadlineExpired atomic.Uint64
+	// shedTotal counts requests answered 429-with-Retry-After because a
+	// tenant quota refused them (solve, fully-shed batch, or job submit).
+	shedTotal atomic.Uint64
 }
 
 // write renders the request counters, the engine's solve telemetry (sources,
@@ -44,6 +48,22 @@ func (m *metrics) write(w io.Writer, eng *engine.Engine, jm *jobs.Manager, uptim
 	floatCounter := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
 	}
+	// labelled renders one series with a {tenant="..."} label per row, keys
+	// sorted so the exposition is deterministic.
+	labelled := func(name, help, kind string, rows map[string]float64) {
+		if len(rows) == 0 {
+			return
+		}
+		keys := make([]string, 0, len(rows))
+		for k := range rows {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{tenant=%q} %g\n", name, k, rows[k])
+		}
+	}
 	histogram := func(name, help string, h engine.Histogram) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 		for i, bound := range h.Bounds {
@@ -62,6 +82,7 @@ func (m *metrics) write(w io.Writer, eng *engine.Engine, jm *jobs.Manager, uptim
 	counter("crsharing_batch_instances_total", "Instances received in batch requests.", m.batchInstances.Load())
 	counter("crsharing_batch_cancelled_total", "Batch instances never attempted because the deadline expired.", m.batchCancelled.Load())
 	counter("crsharing_deadline_expired_total", "Solve requests that hit their deadline.", m.deadlineExpired.Load())
+	counter("crsharing_requests_shed_total", "Requests answered 429 with Retry-After because a tenant quota refused them.", m.shedTotal.Load())
 	gauge("crsharing_uptime_seconds", "Seconds since the server started.", uptime.Seconds())
 
 	snap := eng.Snapshot()
@@ -69,7 +90,9 @@ func (m *metrics) write(w io.Writer, eng *engine.Engine, jm *jobs.Manager, uptim
 	counter("crsharing_cache_served_total", "Solve requests answered from the cache or an in-flight solve.", snap.SourceCache+snap.SourceCoalesced)
 	counter("crsharing_engine_source_cache_total", "Solve requests answered from the memo cache.", snap.SourceCache)
 	counter("crsharing_engine_source_coalesced_total", "Solve requests coalesced onto an identical in-flight solve.", snap.SourceCoalesced)
-	counter("crsharing_engine_errors_total", "Solve requests that failed (including deadline expiries).", snap.Errors)
+	counter("crsharing_engine_source_negative_total", "Solve requests answered by replaying a remembered deterministic failure.", snap.SourceNegative)
+	counter("crsharing_engine_errors_total", "Solve requests that failed (excluding quota sheds).", snap.Errors)
+	counter("crsharing_engine_shed_total", "Solve requests refused over a tenant quota (429 material, not errors).", snap.Shed)
 	counter("crsharing_engine_nodes_total", "Search nodes / configurations explored by fresh solves.", uint64(snap.NodesTotal))
 	counter("crsharing_engine_incumbents_total", "Improving incumbents reported by fresh solves.", uint64(snap.IncumbentsTotal))
 	floatCounter("crsharing_engine_queue_wait_seconds_total", "Total time solve requests spent waiting for admission.", snap.QueueSeconds)
@@ -78,6 +101,29 @@ func (m *metrics) write(w io.Writer, eng *engine.Engine, jm *jobs.Manager, uptim
 	histogram("crsharing_engine_solve_duration_seconds", "Wall-clock distribution of fresh solves.", snap.SolveSeconds)
 	histogram("crsharing_engine_solve_nodes", "Search-size distribution (nodes / configurations) of fresh solves.", snap.SolveNodes)
 
+	if len(snap.Tenants) > 0 {
+		requests := make(map[string]float64, len(snap.Tenants))
+		shed := make(map[string]float64, len(snap.Tenants))
+		terrs := make(map[string]float64, len(snap.Tenants))
+		queueWait := make(map[string]float64, len(snap.Tenants))
+		inflight := make(map[string]float64, len(snap.Tenants))
+		queued := make(map[string]float64, len(snap.Tenants))
+		for name, ts := range snap.Tenants {
+			requests[name] = float64(ts.Requests)
+			shed[name] = float64(ts.Shed)
+			terrs[name] = float64(ts.Errors)
+			queueWait[name] = ts.QueueSeconds
+			inflight[name] = float64(ts.Inflight)
+			queued[name] = float64(ts.Queued)
+		}
+		labelled("crsharing_tenant_requests_total", "Solve requests finished, by tenant.", "counter", requests)
+		labelled("crsharing_tenant_shed_total", "Solve requests refused over quota, by tenant.", "counter", shed)
+		labelled("crsharing_tenant_errors_total", "Solve requests failed (excluding sheds), by tenant.", "counter", terrs)
+		labelled("crsharing_tenant_queue_wait_seconds_total", "Admission wait, by tenant.", "counter", queueWait)
+		labelled("crsharing_tenant_inflight", "Admission weight currently held, by tenant.", "gauge", inflight)
+		labelled("crsharing_tenant_queued", "Requests waiting for admission right now, by tenant.", "gauge", queued)
+	}
+
 	if cache := eng.Cache(); cache != nil {
 		st := cache.Stats()
 		counter("crsharing_cache_hits_total", "Memo cache hits.", st.Hits)
@@ -85,6 +131,8 @@ func (m *metrics) write(w io.Writer, eng *engine.Engine, jm *jobs.Manager, uptim
 		counter("crsharing_cache_coalesced_total", "Requests coalesced onto an identical in-flight solve.", st.Coalesced)
 		counter("crsharing_cache_evictions_total", "LRU evictions.", st.Evictions)
 		gauge("crsharing_cache_entries", "Evaluations currently cached.", float64(st.Entries))
+		counter("crsharing_cache_negative_hits_total", "Requests answered from the negative cache (remembered failures).", st.NegativeHits)
+		gauge("crsharing_cache_negative_entries", "Remembered failures currently held (expiry is lazy).", float64(st.NegativeEntries))
 	}
 	if jm != nil {
 		st := jm.Stats()

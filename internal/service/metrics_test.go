@@ -127,8 +127,19 @@ func TestMetricsExpositionFormat(t *testing.T) {
 
 	for _, want := range []string{
 		"crsharing_requests_solve_total",
+		"crsharing_requests_shed_total",
 		"crsharing_solves_total",
 		"crsharing_cache_entries",
+		"crsharing_cache_negative_hits_total",
+		"crsharing_cache_negative_entries",
+		"crsharing_engine_shed_total",
+		"crsharing_engine_source_negative_total",
+		`crsharing_tenant_requests_total{tenant="default"}`,
+		`crsharing_tenant_shed_total{tenant="default"}`,
+		`crsharing_tenant_errors_total{tenant="default"}`,
+		`crsharing_tenant_queue_wait_seconds_total{tenant="default"}`,
+		`crsharing_tenant_inflight{tenant="default"}`,
+		`crsharing_tenant_queued{tenant="default"}`,
 		"crsharing_engine_nodes_total",
 		"crsharing_engine_incumbents_total",
 		"crsharing_engine_solve_duration_seconds_sum",

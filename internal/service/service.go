@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -69,6 +70,12 @@ type Config struct {
 	// MaxConcurrent caps the solves running at once across all surfaces
 	// (default 16). Ignored when Engine is set.
 	MaxConcurrent int
+	// Tenants are per-tenant admission quotas for the fair scheduler.
+	// Ignored when Engine is set.
+	Tenants map[string]engine.TenantConfig
+	// ShedRetryAfter is the back-off hint attached to quota sheds. Ignored
+	// when Engine is set.
+	ShedRetryAfter time.Duration
 	// MaxBatch caps the instances of one batch request (default 1024).
 	MaxBatch int
 	// MaxBodyBytes caps request body sizes (default 32 MiB).
@@ -77,6 +84,12 @@ type Config struct {
 	// solves that outlast the synchronous deadline. The manager's lifecycle
 	// belongs to the caller: close it after the HTTP listener drains.
 	Jobs *jobs.Manager
+	// APIKeys maps API keys (sent as "Authorization: Bearer <key>" or in the
+	// X-API-Key header) to tenant names. Requests may also name their tenant
+	// directly with the X-Tenant header; with neither they run as the default
+	// tenant. Empty disables key lookup (keys are then ignored, not
+	// rejected).
+	APIKeys map[string]string
 	// Version is reported by /healthz.
 	Version string
 }
@@ -112,6 +125,8 @@ func New(cfg Config) (*Server, error) {
 			DefaultTimeout: cfg.DefaultTimeout,
 			MaxTimeout:     cfg.MaxTimeout,
 			MaxConcurrent:  cfg.MaxConcurrent,
+			Tenants:        cfg.Tenants,
+			ShedRetryAfter: cfg.ShedRetryAfter,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("service: %w", err)
@@ -191,6 +206,11 @@ func requestTimeout(raw string) (time.Duration, error) {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requestsSolve.Add(1)
+	tenant, status, terr := s.tenantFor(r)
+	if terr != nil {
+		s.fail(w, status, terr)
+		return
+	}
 	var req SolveRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -218,8 +238,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Solver:   name,
 		Instance: req.Instance,
 		Timeout:  timeout,
+		Tenant:   tenant,
 	})
 	if err != nil {
+		var shed *engine.ErrShed
+		if errors.As(err, &shed) {
+			s.failShed(w, shed)
+			return
+		}
 		if errors.Is(err, context.DeadlineExceeded) {
 			s.metrics.deadlineExpired.Add(1)
 			s.fail(w, http.StatusGatewayTimeout,
@@ -251,6 +277,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requestsBatch.Add(1)
+	tenant, status, terr := s.tenantFor(r)
+	if terr != nil {
+		s.fail(w, status, terr)
+		return
+	}
 	var req BatchRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -291,16 +322,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// and the job workers.
 	ctx, cancel := context.WithTimeout(r.Context(), s.eng.Limits().Resolve(timeout))
 	defer cancel()
-	outcomes := s.eng.SolveEach(ctx, name, req.Instances, s.eng.MaxConcurrent())
+	outcomes := s.eng.SolveEach(ctx, tenant, name, req.Instances, s.eng.MaxConcurrent())
 
+	var lastShed *engine.ErrShed
 	resp := BatchResponse{Solver: name, Count: len(outcomes), Results: make([]BatchResult, len(outcomes))}
 	for i, out := range outcomes {
 		res := BatchResult{Index: out.Index}
+		var shed *engine.ErrShed
 		switch {
 		case out.Skipped:
 			resp.Cancelled++
 			res.Cancelled = true
 			res.Error = out.Err.Error()
+		case errors.As(out.Err, &shed):
+			resp.Shed++
+			res.Shed = true
+			res.Error = out.Err.Error()
+			lastShed = shed
 		case out.Err != nil:
 			resp.Failed++
 			res.Error = out.Err.Error()
@@ -317,6 +355,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = res
 	}
 	s.metrics.batchCancelled.Add(uint64(resp.Cancelled))
+	if resp.Shed == len(outcomes) && lastShed != nil {
+		// The whole batch was refused over quota: answer like a shed solve
+		// (429 + Retry-After) so clients back off instead of inspecting the
+		// per-result flags. Partially shed batches stay 200 — partial results
+		// are the point of the batch surface.
+		secs := int(lastShed.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.metrics.shedTotal.Add(1)
+		s.respond(w, http.StatusTooManyRequests, resp)
+		return
+	}
 	s.respond(w, http.StatusOK, resp)
 }
 

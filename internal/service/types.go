@@ -76,20 +76,25 @@ type BatchResult struct {
 	Telemetry *engine.Telemetry `json:"telemetry,omitempty"`
 	// Error is set for failed instances; Cancelled additionally marks
 	// instances that were never attempted because the batch deadline had
-	// already expired.
+	// already expired, and Shed instances that were refused over the
+	// tenant's admission quota (retry later; they did not fail).
 	Error     string `json:"error,omitempty"`
 	Cancelled bool   `json:"cancelled,omitempty"`
+	Shed      bool   `json:"shed,omitempty"`
 }
 
 // BatchResponse is the body of a POST /v1/batch-solve response. It is
 // returned with status 200 even when individual instances failed; the
 // per-instance errors are in Results.
+// A fully shed batch (every instance refused over quota) is answered with
+// 429 and a Retry-After header instead of 200.
 type BatchResponse struct {
 	Solver    string        `json:"solver"`
 	Count     int           `json:"count"`
 	Solved    int           `json:"solved"`
 	Failed    int           `json:"failed"`
 	Cancelled int           `json:"cancelled"`
+	Shed      int           `json:"shed,omitempty"`
 	Results   []BatchResult `json:"results"`
 }
 

@@ -1,0 +1,267 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"crsharing/internal/core"
+)
+
+func persistInstances(n int) []*core.Instance {
+	out := make([]*core.Instance, n)
+	for i := range out {
+		out[i] = core.NewInstance([]float64{float64(i+1) / float64(n+1), 0.5}, []float64{0.25})
+	}
+	return out
+}
+
+// TestPersistRoundTrip is the warm-start contract: evaluations memoised by
+// one cache are flushed to disk and answer from SourceCache in a brand-new
+// cache, without invoking the solver again.
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	insts := persistInstances(5)
+
+	warm := NewCache(4, 64)
+	s := &stubSolver{name: "stub"}
+	for _, inst := range insts {
+		if _, _, err := warm.Evaluate(context.Background(), s, inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := NewPersister(warm, dir, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil { // final flush without ever starting the loop
+		t.Fatal(err)
+	}
+
+	cold := NewCache(4, 64)
+	p2, err := NewPersister(cold, dir, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	rep, err := p2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restored != len(insts) || rep.Quarantined != 0 || rep.Skipped != 0 {
+		t.Fatalf("load report = %+v, want %d restored", rep, len(insts))
+	}
+	fresh := &stubSolver{name: "stub"}
+	for _, inst := range insts {
+		ev, src, err := cold.Evaluate(context.Background(), fresh, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src != SourceCache {
+			t.Fatalf("restored entry answered from %q, want %q", src, SourceCache)
+		}
+		if ev == nil || ev.Schedule == nil {
+			t.Fatal("restored evaluation lost its schedule")
+		}
+	}
+	if fresh.calls.Load() != 0 {
+		t.Fatalf("solver ran %d times against a warm cache", fresh.calls.Load())
+	}
+}
+
+// TestPersistShardCountChange re-loads a snapshot into a cache with a
+// different shard count: fingerprints are recomputed on load, so entries land
+// in the right shard and stale high-index shard files are removed.
+func TestPersistShardCountChange(t *testing.T) {
+	dir := t.TempDir()
+	insts := persistInstances(6)
+	warm := NewCache(4, 64)
+	s := &stubSolver{name: "stub"}
+	for _, inst := range insts {
+		if _, _, err := warm.Evaluate(context.Background(), s, inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := NewPersister(warm, dir, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewCache(1, 64)
+	p2, err := NewPersister(cold, dir, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	rep, err := p2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restored != len(insts) {
+		t.Fatalf("restored %d of %d across a shard-count change", rep.Restored, len(insts))
+	}
+	fresh := &stubSolver{name: "stub"}
+	for _, inst := range insts {
+		if _, src, err := cold.Evaluate(context.Background(), fresh, inst); err != nil || src != SourceCache {
+			t.Fatalf("lookup after reshard: src=%q err=%v", src, err)
+		}
+	}
+	stale, _ := filepath.Glob(filepath.Join(dir, "shard-00[1-9].json"))
+	if len(stale) != 0 {
+		t.Fatalf("stale shard files survived the reshard: %v", stale)
+	}
+}
+
+// TestPersistQuarantinesCorruptFiles: undecodable or wrong-version shard
+// files must not abort startup — they are renamed aside and counted, and the
+// healthy shards still load.
+func TestPersistQuarantinesCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	insts := persistInstances(3)
+	warm := NewCache(4, 64)
+	s := &stubSolver{name: "stub"}
+	for _, inst := range insts {
+		if _, _, err := warm.Evaluate(context.Background(), s, inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := NewPersister(warm, dir, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one real shard and plant one wrong-version file.
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no shard files written: %v", err)
+	}
+	if err := os.WriteFile(files[0], []byte("{torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wrong := filepath.Join(dir, "shard-099.json")
+	if err := os.WriteFile(wrong, []byte(`{"version":99,"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewCache(4, 64)
+	p2, err := NewPersister(cold, dir, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	rep, err := p2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 2 {
+		t.Fatalf("quarantined %d files, want 2 (report %+v)", rep.Quarantined, rep)
+	}
+	quarantined, _ := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if len(quarantined) != 2 {
+		t.Fatalf("expected 2 .corrupt files, found %v", quarantined)
+	}
+	if got := cold.Stats().Entries; got+rep.Restored == 0 || rep.Restored != got {
+		t.Fatalf("healthy shards not restored: report=%+v entries=%d", rep, got)
+	}
+}
+
+// TestPersistPeriodicFlush: a started persister writes snapshots on its own
+// tick, not only at Close.
+func TestPersistPeriodicFlush(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(2, 64)
+	p, err := NewPersister(c, dir, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Close()
+	if _, _, err := c.Evaluate(context.Background(), &stubSolver{name: "stub"}, core.NewInstance([]float64{0.5})); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if files, _ := filepath.Glob(filepath.Join(dir, "shard-*.json")); len(files) > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no snapshot appeared within 5s of a 10ms flush interval")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestNegativeCacheReplayAndExpiry: a deterministic solver failure is
+// remembered for the TTL and replayed as SourceNegative without re-solving;
+// after expiry the solver runs again.
+func TestNegativeCacheReplayAndExpiry(t *testing.T) {
+	c := NewCache(2, 64)
+	c.SetNegativeTTL(80 * time.Millisecond)
+	inst := core.NewInstance([]float64{0.3, 0.7})
+	s := &stubSolver{name: "stub", fail: errors.New("deterministic failure")}
+
+	if _, _, err := c.Evaluate(context.Background(), s, inst); err == nil {
+		t.Fatal("failing solver reported success")
+	}
+	if got := s.calls.Load(); got != 1 {
+		t.Fatalf("solver calls = %d, want 1", got)
+	}
+	_, src, err := c.Evaluate(context.Background(), s, inst)
+	if src != SourceNegative {
+		t.Fatalf("replay source = %q, want %q (err %v)", src, SourceNegative, err)
+	}
+	var cf *CachedFailure
+	if !errors.As(err, &cf) || cf.Msg == "" {
+		t.Fatalf("replayed error = %v, want *CachedFailure", err)
+	}
+	if got := s.calls.Load(); got != 1 {
+		t.Fatalf("negative hit re-ran the solver (%d calls)", got)
+	}
+	st := c.Stats()
+	if st.NegativeHits != 1 || st.NegativeEntries != 1 {
+		t.Fatalf("negative stats wrong: %+v", st)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	if _, src, _ := c.Evaluate(context.Background(), s, inst); src == SourceNegative {
+		t.Fatal("negative entry served after its TTL")
+	}
+	if got := s.calls.Load(); got != 2 {
+		t.Fatalf("solver calls after expiry = %d, want 2", got)
+	}
+}
+
+// shedLikeErr mimics the engine's quota shed without importing it.
+type shedLikeErr struct{}
+
+func (shedLikeErr) Error() string { return "quota shed" }
+func (shedLikeErr) Shed() bool    { return true }
+
+// TestNegativeCacheSkipsTransientErrors: cancellations, deadline expiries and
+// quota sheds say nothing about the instance, so they are never remembered.
+func TestNegativeCacheSkipsTransientErrors(t *testing.T) {
+	for _, transient := range []error{context.Canceled, context.DeadlineExceeded, shedLikeErr{}} {
+		c := NewCache(2, 64)
+		c.SetNegativeTTL(time.Hour)
+		inst := core.NewInstance([]float64{0.4})
+		s := &stubSolver{name: "stub", fail: transient}
+		if _, _, err := c.Evaluate(context.Background(), s, inst); err == nil {
+			t.Fatalf("%v: expected the failure through", transient)
+		}
+		if _, src, _ := c.Evaluate(context.Background(), s, inst); src == SourceNegative {
+			t.Fatalf("%v was negative-cached", transient)
+		}
+		if got := s.calls.Load(); got != 2 {
+			t.Fatalf("%v: solver calls = %d, want 2 (no memoised failure)", transient, got)
+		}
+	}
+}
