@@ -14,8 +14,17 @@
 //	crload -seed 7 -duration 10s -rate 500 -mix solve=6,batch=2,jobs=2 -json BENCH_load.json
 //	crload -addr http://127.0.0.1:8080 -duration 30s
 //
-// The process exits 1 when any schedule violates an invariant (or the
-// -min-cache-hits floor is missed), making it directly usable as a CI gate.
+// Beyond the single-driver run it speaks the fleet protocol:
+//
+//	crload -seed 1 -shards 4 -json merged.json        # split the corpus over 4 in-process driver shards
+//	crload -seed 1 -record run.jsonl                  # capture the request stream as versioned JSONL
+//	crload -replay run.jsonl -replay-speed 2          # re-issue it bit-exactly (2x compressed schedule)
+//	crload -merge a.json,b.json -slo slo.json         # pool per-process reports, then gate
+//	crload -seed 1 -slo .github/slo.json              # hard SLO gate for CI
+//
+// Exit codes: 0 OK; 1 invariant violation or -min-* floor missed; 2 setup or
+// I/O error; 4 SLO violation (the distinct code lets CI tell a gate breach
+// from a broken run).
 package main
 
 import (
@@ -24,12 +33,26 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"crsharing/internal/engine"
 	"crsharing/internal/harness"
 )
+
+// Exit codes of the crload process.
+const (
+	exitOK        = 0
+	exitViolation = 1 // oracle violations or -min-* floors missed
+	exitSetup     = 2 // bad flags, unreachable server, I/O errors
+	exitSLO       = 4 // declarative SLO gate failed
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(exitSetup)
+}
 
 func main() {
 	addr := flag.String("addr", "", "base URL of a running crserved (e.g. http://127.0.0.1:8080); empty drives an in-process server")
@@ -48,24 +71,71 @@ func main() {
 	tenantSpec := flag.String("tenants", "", "multi-tenant traffic, name:weight:rps,... (e.g. gold:3:150,free:1:50); weights also configure the in-process server")
 	minTenantRequests := flag.Int("min-tenant-requests", 0, "fail unless every tenant completed at least this many non-error requests (starvation gate)")
 	cacheDir := flag.String("cache-dir", "", "warm-cache directory for the in-process server; reused across runs to test cold/warm starts")
+	shards := flag.Int("shards", 1, "in-process driver shards; the corpus (or replayed recording) is split deterministically and the reports merged")
+	recordPath := flag.String("record", "", "capture the full request stream (offsets, classes, tenants, payloads, outcomes) to this versioned JSONL file")
+	replayPath := flag.String("replay", "", "re-issue a recorded request stream bit-exactly instead of generating open-loop arrivals")
+	replaySpeed := flag.Float64("replay-speed", 1, "compress (>1) or stretch (<1) the replayed arrival schedule; the request sequence is unchanged")
+	mergeSpec := flag.String("merge", "", "comma-separated report JSON files to pool into one fleet report (no load is driven)")
+	sloPath := flag.String("slo", "", "declarative SLO spec (JSON); violations exit with code 4")
 	flag.Parse()
+
+	var slo *harness.SLO
+	if *sloPath != "" {
+		var err error
+		if slo, err = harness.LoadSLO(*sloPath); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *mergeSpec != "" {
+		mergeReports(*mergeSpec, *jsonOut, slo, *minCacheHits)
+		return
+	}
 
 	mix, err := harness.ParseMix(*mixSpec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
 	var tenantLoads []harness.TenantLoad
 	if *tenantSpec != "" {
 		if tenantLoads, err = harness.ParseTenantLoads(*tenantSpec); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 	}
-	corpus := harness.BuildCorpus(*seed)
-	if err := corpus.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+
+	cfg := harness.Config{
+		Mix:            mix,
+		Rate:           *rate,
+		Duration:       *duration,
+		Solver:         *solverName,
+		SolveTimeout:   *solveTimeout,
+		JobTimeout:     *jobTimeout,
+		RequestTimeout: *reqTimeout,
+		BatchSize:      *batchSize,
+		MaxInflight:    *maxInflight,
+		Tenants:        tenantLoads,
+	}
+	if *replayPath != "" {
+		recording, err := harness.LoadRecording(*replayPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "crload: replaying %d recorded arrivals from %s (speed %gx)\n",
+			len(recording.Entries), *replayPath, *replaySpeed)
+		cfg.Replay = recording
+		cfg.ReplaySpeed = *replaySpeed
+		cfg.Tenants = nil // replay re-issues the recording's own tenants
+	} else {
+		corpus := harness.BuildCorpus(*seed)
+		if err := corpus.Validate(); err != nil {
+			fatal(err)
+		}
+		cfg.Corpus = corpus
+	}
+	var recorder *harness.Recorder
+	if *recordPath != "" {
+		recorder = harness.NewRecorder()
+		cfg.Recorder = recorder
 	}
 
 	base := *addr
@@ -84,8 +154,7 @@ func main() {
 		}
 		stack, err := harness.NewStack(scfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 		defer func() {
 			if err := stack.Close(); err != nil {
@@ -99,57 +168,40 @@ func main() {
 				stack.CacheLoad.Restored, *cacheDir, stack.CacheLoad.Quarantined)
 		}
 	}
-
-	driver, err := harness.NewDriver(harness.Config{
-		BaseURL:        base,
-		Corpus:         corpus,
-		Mix:            mix,
-		Rate:           *rate,
-		Duration:       *duration,
-		Solver:         *solverName,
-		SolveTimeout:   *solveTimeout,
-		JobTimeout:     *jobTimeout,
-		RequestTimeout: *reqTimeout,
-		BatchSize:      *batchSize,
-		MaxInflight:    *maxInflight,
-		Tenants:        tenantLoads,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	cfg.BaseURL = base
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	report, err := driver.Run(ctx)
+	report, err := harness.RunFleet(ctx, cfg, *shards)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
+	}
+
+	if recorder != nil {
+		recSeed := *seed
+		if cfg.Replay != nil {
+			recSeed = cfg.Replay.Seed
+		}
+		recording := recorder.Recording(recSeed)
+		if err := recording.WriteFile(*recordPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "crload: recorded %d arrivals to %s\n", len(recording.Entries), *recordPath)
 	}
 
 	fmt.Print(report.Text())
-	if *jsonOut != "" {
-		data, err := report.JSON()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-	}
+	writeJSON(report, *jsonOut)
 
+	code := exitOK
 	if n := report.ViolationCount; n > 0 {
 		fmt.Fprintf(os.Stderr, "crload: FAIL: %d invariant violation(s)\n", n)
-		os.Exit(1)
+		code = exitViolation
 	}
 	if hits := int(report.Cache.CacheServed); hits < *minCacheHits {
 		fmt.Fprintf(os.Stderr, "crload: FAIL: %d cache-served responses, need at least %d\n", hits, *minCacheHits)
-		os.Exit(1)
+		code = exitViolation
 	}
 	if *minTenantRequests > 0 {
-		starved := false
 		for _, tl := range tenantLoads {
 			ts := report.Tenants[tl.Name]
 			served := 0
@@ -159,12 +211,80 @@ func main() {
 			if served < *minTenantRequests {
 				fmt.Fprintf(os.Stderr, "crload: FAIL: tenant %q completed %d non-error requests, need at least %d\n",
 					tl.Name, served, *minTenantRequests)
-				starved = true
+				code = exitViolation
 			}
 		}
-		if starved {
-			os.Exit(1)
-		}
 	}
-	fmt.Fprintf(os.Stderr, "crload: OK: %d responses validated, zero invariant violations\n", report.Validated)
+	code = gateSLO(slo, report, code)
+	if code == exitOK {
+		fmt.Fprintf(os.Stderr, "crload: OK: %d responses validated, zero invariant violations\n", report.Validated)
+	}
+	os.Exit(code)
+}
+
+// mergeReports pools previously written report JSON files (the cross-process
+// half of distributed drive), re-renders, and applies the same gates a live
+// run would.
+func mergeReports(spec, jsonOut string, slo *harness.SLO, minCacheHits int) {
+	var reports []*harness.Report
+	for _, path := range strings.Split(spec, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := harness.ParseReport(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		reports = append(reports, r)
+	}
+	merged, err := harness.MergeReports(reports...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "crload: merged %d reports (%d shards)\n", len(reports), merged.Shards)
+	fmt.Print(merged.Text())
+	writeJSON(merged, jsonOut)
+
+	code := exitOK
+	if merged.ViolationCount > 0 {
+		fmt.Fprintf(os.Stderr, "crload: FAIL: %d invariant violation(s)\n", merged.ViolationCount)
+		code = exitViolation
+	}
+	if hits := int(merged.Cache.CacheServed); hits < minCacheHits {
+		fmt.Fprintf(os.Stderr, "crload: FAIL: %d cache-served responses, need at least %d\n", hits, minCacheHits)
+		code = exitViolation
+	}
+	os.Exit(gateSLO(slo, merged, code))
+}
+
+// gateSLO evaluates the SLO (when given) and escalates the exit code to the
+// distinct SLO code on violation.
+func gateSLO(slo *harness.SLO, report *harness.Report, code int) int {
+	if slo == nil {
+		return code
+	}
+	violations := slo.Evaluate(report)
+	fmt.Fprintln(os.Stderr, harness.RenderSLOVerdict(slo, violations))
+	if len(violations) > 0 {
+		return exitSLO
+	}
+	return code
+}
+
+func writeJSON(report *harness.Report, path string) {
+	if path == "" {
+		return
+	}
+	data, err := report.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
 }

@@ -1,0 +1,81 @@
+package benchcmp
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"crsharing/internal/render"
+)
+
+// shortKey trims the module prefix off a benchmark key for table display:
+// "crsharing/internal/core.BenchmarkX" → "core.BenchmarkX".
+func shortKey(k Key) string {
+	pkg := k.Package
+	if i := strings.LastIndexByte(pkg, '/'); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	return pkg + "." + strings.TrimPrefix(k.Name, "Benchmark")
+}
+
+// formatNs renders a ns/op value with a readable unit.
+func formatNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.3gns", ns)
+	}
+}
+
+// RenderMarkdown renders the fresh benchmark run as a markdown table — one
+// row per benchmark with the median ns/op, a sparkline of the -count samples
+// (the run-to-run spread), the median allocs/op, and, when a baseline run is
+// given, the ns/op delta as a signed bar. Benchmarks are selected by filter
+// (nil = all) and sorted by key, so regenerating the report on an unchanged
+// tree is a no-op diff.
+func RenderMarkdown(old, new map[Key]*Samples, filter *regexp.Regexp) string {
+	keys := make([]Key, 0, len(new))
+	for key := range new {
+		if filter != nil && !filter.MatchString(key.String()) {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	if len(keys) == 0 {
+		return "_no benchmarks in this stream_\n"
+	}
+
+	var b strings.Builder
+	b.WriteString("| Benchmark | ns/op (median) | samples | allocs/op | Δ ns/op vs baseline |\n")
+	b.WriteString("|---|---:|---|---:|---|\n")
+	for _, key := range keys {
+		s := new[key]
+		ns, ok := Median(s.NsPerOp)
+		if !ok {
+			continue
+		}
+		allocs := "—"
+		if a, ok := Median(s.AllocsPerOp); ok {
+			allocs = fmt.Sprintf("%.0f", a)
+		}
+		delta := "_no baseline_"
+		if o, ok := old[key]; ok {
+			if oldNs, ok := Median(o.NsPerOp); ok && oldNs > 0 {
+				delta = "`" + render.DeltaBar((ns-oldNs)/oldNs, 0.05, 10) + "`"
+			}
+		}
+		spark := render.Sparkline(s.NsPerOp)
+		if spark != "" {
+			spark = "`" + spark + "`"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s |\n", shortKey(key), formatNs(ns), spark, allocs, delta)
+	}
+	return b.String()
+}

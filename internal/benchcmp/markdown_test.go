@@ -1,0 +1,45 @@
+package benchcmp
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestRenderMarkdown(t *testing.T) {
+	key := Key{Package: "crsharing/internal/core", Name: "BenchmarkBranchBound"}
+	other := Key{Package: "crsharing/internal/solver", Name: "BenchmarkGreedy"}
+	new := map[Key]*Samples{
+		key:   {NsPerOp: []float64{100, 120, 110}, AllocsPerOp: []float64{0, 0, 0}},
+		other: {NsPerOp: []float64{5e6, 6e6}, AllocsPerOp: []float64{3, 3}},
+	}
+	old := map[Key]*Samples{
+		key: {NsPerOp: []float64{100, 100, 100}},
+	}
+
+	md := RenderMarkdown(old, new, nil)
+	if !strings.Contains(md, "`core.BranchBound`") || !strings.Contains(md, "`solver.Greedy`") {
+		t.Fatalf("benchmarks missing from table:\n%s", md)
+	}
+	if !strings.Contains(md, "110ns") || !strings.Contains(md, "5.5ms") {
+		t.Fatalf("medians not rendered with units:\n%s", md)
+	}
+	if !strings.Contains(md, "+10.0%") {
+		t.Fatalf("baseline delta missing:\n%s", md)
+	}
+	if !strings.Contains(md, "_no baseline_") {
+		t.Fatalf("baseline-less row not marked:\n%s", md)
+	}
+	// Deterministic: regenerating is a no-op diff.
+	if again := RenderMarkdown(old, new, nil); again != md {
+		t.Fatal("RenderMarkdown is not deterministic")
+	}
+	// Filtered render keeps only the matching rows.
+	filtered := RenderMarkdown(old, new, regexp.MustCompile("BranchBound"))
+	if strings.Contains(filtered, "Greedy") {
+		t.Fatalf("filter leaked a row:\n%s", filtered)
+	}
+	if empty := RenderMarkdown(nil, nil, nil); !strings.Contains(empty, "no benchmarks") {
+		t.Fatalf("empty run rendered %q", empty)
+	}
+}

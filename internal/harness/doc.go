@@ -33,6 +33,30 @@
 //     balanced schedules); any violation fails the run loudly. The paper's
 //     propositions are thereby the regression oracle of every load test.
 //
+// On top of the single driver sits the fleet-scale verification layer:
+//
+//   - Recording (record.go): a versioned JSONL codec that captures a run's
+//     full request stream — arrival offsets, class, tenant, instance
+//     payloads with canonical fingerprints, per-request outcome — and a
+//     replay mode (Config.Replay) that re-issues it bit-exactly, so two
+//     runs are comparable request-for-request. Decoding re-verifies every
+//     fingerprint and rejects corrupt, truncated or unknown-version input
+//     with line numbers.
+//
+//   - Fleet (fleet.go): RunFleet splits one corpus (ShardCorpus) or one
+//     recording (Recording.Shard) deterministically over N in-process
+//     driver shards, scrapes /metrics once around the whole fleet, and
+//     merges the shard reports. MergeReports (report.go) also pools report
+//     JSONs from separate processes: counts add exactly, and latency
+//     quantiles are re-estimated from merged fixed-bounds log-domain
+//     histograms (stats.Histogram.Merge), so distribution merging is exact
+//     rather than approximated from summaries.
+//
+//   - SLO (slo.go): a strict declarative spec — per-class P99 ceilings,
+//     shed-rate cap, cache-hit floor, zero oracle violations, a minimum
+//     request count against vacuous passes — evaluated against the merged
+//     report; crload maps violations to a distinct exit code for CI.
+//
 // The golden-corpus regression suite (golden_test.go + testdata/) pins the
 // makespan and waste of every deterministic solver on a fixed corpus so that
 // behavioural drift across refactors fails `go test ./...` unless the

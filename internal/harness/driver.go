@@ -188,6 +188,24 @@ type Config struct {
 	// the X-Tenant header, and the report gaining per-tenant accounting. When
 	// empty the run is anonymous at the global Rate.
 	Tenants []TenantLoad
+	// Recorder, when set, captures every arrival (offset, class, tenant, full
+	// instance payload, outcome) so the run can be re-issued bit-exactly with
+	// Replay.
+	Recorder *Recorder
+	// Replay, when set, replaces the open-loop arrival generator: the
+	// recording's entries are re-issued at their recorded offsets with their
+	// recorded class, tenant and instances, so two runs are comparable
+	// request-for-request. Mix, Rate, Duration and Tenants are ignored;
+	// Corpus is optional.
+	Replay *Recording
+	// ReplaySpeed compresses (>1) or stretches (<1) the recorded arrival
+	// schedule during Replay; 0 means 1 (as recorded). The request sequence
+	// is unchanged either way.
+	ReplaySpeed float64
+	// SkipMetrics skips the /metrics scrape around the run (Cache and
+	// MetricsDelta stay zero). RunFleet sets it on shard drivers so the
+	// shared server's movement is scraped once, not once per shard.
+	SkipMetrics bool
 }
 
 // TelemetryAgg folds the per-solve engine telemetry of one request class, so
@@ -270,17 +288,24 @@ type TenantStats struct {
 	Latency LatencySummary `json:"latency_ms"`
 }
 
-// Report is the outcome of one load run.
+// Report is the outcome of one load run (or, after MergeReports, of several
+// shard runs pooled into one).
 type Report struct {
-	Seed        int64                  `json:"seed"`
-	Mix         Mix                    `json:"mix"`
-	RatePerSec  float64                `json:"rate_per_sec"`
-	DurationSec float64                `json:"duration_sec"`
-	Requests    int                    `json:"requests"`
-	Shed        int                    `json:"shed"`
-	ServerShed  int                    `json:"server_shed"`
-	Throughput  float64                `json:"throughput_rps"`
-	Classes     map[string]*ClassStats `json:"classes"`
+	Seed        int64   `json:"seed"`
+	Mix         Mix     `json:"mix"`
+	RatePerSec  float64 `json:"rate_per_sec"`
+	DurationSec float64 `json:"duration_sec"`
+	// Replayed marks a run that re-issued a recording instead of generating
+	// open-loop arrivals.
+	Replayed bool `json:"replayed,omitempty"`
+	// Shards is the number of driver shards pooled into this report (0 or 1
+	// for a plain single-driver run).
+	Shards     int                    `json:"shards,omitempty"`
+	Requests   int                    `json:"requests"`
+	Shed       int                    `json:"shed"`
+	ServerShed int                    `json:"server_shed"`
+	Throughput float64                `json:"throughput_rps"`
+	Classes    map[string]*ClassStats `json:"classes"`
 	// Tenants holds per-tenant accounting for multi-tenant runs (empty for
 	// anonymous runs). Shed above counts arrivals the driver itself dropped
 	// at its MaxInflight cap; ServerShed counts quota refusals by the server.
@@ -320,8 +345,17 @@ func NewDriver(cfg Config) (*Driver, error) {
 	if cfg.BaseURL == "" {
 		return nil, errors.New("harness: Config.BaseURL is required")
 	}
-	if cfg.Corpus == nil || cfg.Corpus.Size() == 0 {
+	if cfg.Replay == nil && (cfg.Corpus == nil || cfg.Corpus.Size() == 0) {
 		return nil, errors.New("harness: Config.Corpus is required and must be non-empty")
+	}
+	if cfg.Replay != nil && len(cfg.Replay.Entries) == 0 {
+		return nil, errors.New("harness: Config.Replay has no entries")
+	}
+	if cfg.ReplaySpeed < 0 {
+		return nil, errors.New("harness: Config.ReplaySpeed must be non-negative")
+	}
+	if cfg.ReplaySpeed == 0 {
+		cfg.ReplaySpeed = 1
 	}
 	if cfg.Client == nil {
 		cfg.Client = http.DefaultClient
@@ -371,6 +405,14 @@ func NewDriver(cfg Config) (*Driver, error) {
 		}
 		d.tenants[tl.Name] = &TenantStats{}
 	}
+	if cfg.Replay != nil {
+		// Replay re-issues whatever tenants the recording carries.
+		for _, e := range cfg.Replay.Entries {
+			if e.Tenant != "" && d.tenants[e.Tenant] == nil {
+				d.tenants[e.Tenant] = &TenantStats{}
+			}
+		}
+	}
 	return d, nil
 }
 
@@ -378,22 +420,51 @@ func NewDriver(cfg Config) (*Driver, error) {
 // inspect violations while a run is in flight).
 func (d *Driver) Oracle() *Oracle { return d.oracle }
 
-// Run generates arrivals for the configured duration, drains the in-flight
-// requests, scrapes the /metrics movement and returns the report. The
-// context cancels the run early; requests already in flight still finish
-// within their own timeouts.
+// Run generates arrivals — the configured open-loop mix, or a recorded
+// schedule when Replay is set — drains the in-flight requests, scrapes the
+// /metrics movement and returns the report. The context cancels the run
+// early; requests already in flight still finish within their own timeouts.
 func (d *Driver) Run(ctx context.Context) (*Report, error) {
-	before, err := ScrapeMetrics(d.cfg.Client, d.cfg.BaseURL+"/metrics")
-	if err != nil {
-		return nil, err
+	var before MetricsSnapshot
+	if !d.cfg.SkipMetrics {
+		var err error
+		before, err = ScrapeMetrics(d.cfg.Client, d.cfg.BaseURL+"/metrics")
+		if err != nil {
+			return nil, err
+		}
 	}
 
+	var wg sync.WaitGroup // in-flight requests
+	inflight := make(chan struct{}, d.cfg.MaxInflight)
+	start := time.Now()
+	if d.cfg.Replay != nil {
+		d.replayArrivals(ctx, start, inflight, &wg)
+	} else {
+		d.liveArrivals(ctx, start, inflight, &wg)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	delta := MetricsSnapshot{}
+	if !d.cfg.SkipMetrics {
+		after, err := ScrapeMetrics(d.cfg.Client, d.cfg.BaseURL+"/metrics")
+		if err != nil {
+			return nil, err
+		}
+		delta = before.Delta(after)
+	}
+	return d.report(elapsed, delta), nil
+}
+
+// liveArrivals runs the open-loop generator: one arrival loop per tenant at
+// its own rate for the configured duration.
+func (d *Driver) liveArrivals(ctx context.Context, start time.Time, inflight chan struct{}, wg *sync.WaitGroup) {
 	items := d.cfg.Corpus.Items()
 	rng := rand.New(rand.NewSource(d.cfg.Corpus.Seed))
 	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
 
 	// Anonymous runs are a single unnamed tenant at the global rate; the
-	// per-tenant loops below degenerate to the old single arrival loop.
+	// per-tenant loops below degenerate to a single arrival loop.
 	loads := d.cfg.Tenants
 	if len(loads) == 0 {
 		loads = []TenantLoad{{Rate: d.cfg.Rate}}
@@ -405,11 +476,7 @@ func (d *Driver) Run(ctx context.Context) (*Report, error) {
 	stopper := time.AfterFunc(d.cfg.Duration, func() { close(stop) })
 	defer stopper.Stop()
 
-	var wg sync.WaitGroup    // in-flight requests
 	var loops sync.WaitGroup // arrival loops
-	inflight := make(chan struct{}, d.cfg.MaxInflight)
-	start := time.Now()
-
 	for ti, tl := range loads {
 		loops.Add(1)
 		go func(ti int, tl TenantLoad) {
@@ -437,47 +504,87 @@ func (d *Driver) Run(ctx context.Context) (*Report, error) {
 					return
 				case <-ticker.C:
 					class := d.cfg.Mix.pick(rng)
-					item := items[next%len(items)]
 					at := next
 					next++
-					select {
-					case inflight <- struct{}{}:
-					default:
-						d.mu.Lock()
-						d.shed++
-						d.mu.Unlock()
-						continue
-					}
-					wg.Add(1)
-					go func() {
-						defer wg.Done()
-						defer func() { <-inflight }()
-						rctx, cancel := context.WithTimeout(ctx, d.cfg.RequestTimeout)
-						defer cancel()
-						began := time.Now()
-						switch class {
-						case ClassSolve:
-							d.doSolve(rctx, tl.Name, item)
-						case ClassBatch:
-							d.doBatch(rctx, tl.Name, items, at)
-						case ClassJobs:
-							d.doJob(rctx, tl.Name, item)
+					var req []Item
+					if class == ClassBatch {
+						req = make([]Item, 0, d.cfg.BatchSize)
+						for i := 0; i < d.cfg.BatchSize; i++ {
+							req = append(req, items[(at+i)%len(items)])
 						}
-						d.record(class, tl.Name, time.Since(began))
-					}()
+					} else {
+						req = []Item{items[at%len(items)]}
+					}
+					d.arrive(ctx, start, inflight, wg, class, tl.Name, req)
 				}
 			}
 		}(ti, tl)
 	}
 	loops.Wait()
-	wg.Wait()
-	elapsed := time.Since(start)
+}
 
-	after, err := ScrapeMetrics(d.cfg.Client, d.cfg.BaseURL+"/metrics")
-	if err != nil {
-		return nil, err
+// replayArrivals re-issues a recording: every entry at its recorded offset
+// (compressed by ReplaySpeed), with its recorded class, tenant and instances.
+func (d *Driver) replayArrivals(ctx context.Context, start time.Time, inflight chan struct{}, wg *sync.WaitGroup) {
+	for i := range d.cfg.Replay.Entries {
+		e := &d.cfg.Replay.Entries[i]
+		due := time.Duration(float64(e.OffsetNS) / d.cfg.ReplaySpeed)
+		if wait := due - time.Since(start); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		d.arrive(ctx, start, inflight, wg, e.Class, e.Tenant, e.items())
 	}
-	return d.report(elapsed, before.Delta(after)), nil
+}
+
+// arrive admits one arrival: it records it, sheds it when the inflight cap is
+// full (keeping the loop open), and otherwise issues the request on its own
+// goroutine.
+func (d *Driver) arrive(ctx context.Context, start time.Time, inflight chan struct{}, wg *sync.WaitGroup, class, tenant string, req []Item) {
+	seq := -1
+	if d.cfg.Recorder != nil {
+		seq = d.cfg.Recorder.arrive(time.Since(start), class, tenant, req)
+	}
+	select {
+	case inflight <- struct{}{}:
+	default:
+		d.mu.Lock()
+		d.shed++
+		d.mu.Unlock()
+		if d.cfg.Recorder != nil {
+			d.cfg.Recorder.finish(seq, OutcomeDriverShed)
+		}
+		return
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { <-inflight }()
+		rctx, cancel := context.WithTimeout(ctx, d.cfg.RequestTimeout)
+		defer cancel()
+		began := time.Now()
+		var outcome string
+		switch class {
+		case ClassSolve:
+			outcome = d.doSolve(rctx, tenant, req[0])
+		case ClassBatch:
+			outcome = d.doBatch(rctx, tenant, req)
+		case ClassJobs:
+			outcome = d.doJob(rctx, tenant, req[0])
+		}
+		d.record(class, tenant, time.Since(began))
+		if d.cfg.Recorder != nil {
+			d.cfg.Recorder.finish(seq, outcome)
+		}
+	}()
 }
 
 // record stores the class (and tenant) latency and bumps the request counts.
@@ -596,8 +703,20 @@ func (d *Driver) post(ctx context.Context, tenant, path string, body, out any) e
 	return json.Unmarshal(data, out)
 }
 
-// doSolve fires one synchronous solve and revalidates the returned schedule.
-func (d *Driver) doSolve(ctx context.Context, tenant string, item Item) {
+// outcomeOf classifies a request-level error for the recording.
+func outcomeOf(err error) string {
+	if err == nil {
+		return OutcomeOK
+	}
+	if isShed(err) {
+		return OutcomeShed
+	}
+	return OutcomeError
+}
+
+// doSolve fires one synchronous solve, revalidates the returned schedule and
+// returns the request outcome.
+func (d *Driver) doSolve(ctx context.Context, tenant string, item Item) string {
 	var resp service.SolveResponse
 	err := d.post(ctx, tenant, "/v1/solve", service.SolveRequest{
 		Solver:          d.cfg.Solver,
@@ -607,7 +726,7 @@ func (d *Driver) doSolve(ctx context.Context, tenant string, item Item) {
 	}, &resp)
 	if err != nil {
 		d.countError(ClassSolve, tenant, err)
-		return
+		return outcomeOf(err)
 	}
 	if resp.Source != "solve" {
 		d.mu.Lock()
@@ -621,17 +740,17 @@ func (d *Driver) doSolve(ctx context.Context, tenant string, item Item) {
 	label := fmt.Sprintf("solve %s/%s", item.Family, item.Inst.Fingerprint().Short())
 	if err := d.oracle.CheckSchedule(label, item.Inst, resp.Schedule, resp.Makespan, resp.Wasted); err != nil {
 		d.countError(ClassSolve, tenant, err)
+		return OutcomeError
 	}
+	return OutcomeOK
 }
 
-// doBatch fires one batch solve over a window of the corpus and sanity-checks
-// every per-instance result (batch responses carry no schedules, so the
-// oracle can only hold makespans against the lower bounds).
-func (d *Driver) doBatch(ctx context.Context, tenant string, items []Item, at int) {
-	batch := make([]Item, 0, d.cfg.BatchSize)
-	for i := 0; i < d.cfg.BatchSize; i++ {
-		batch = append(batch, items[(at+i)%len(items)])
-	}
+// doBatch fires one batch solve over the given window and sanity-checks every
+// per-instance result (batch responses carry no schedules, so the oracle can
+// only hold makespans against the lower bounds). The returned outcome is
+// request-level: per-instance failures are counted but a delivered batch is
+// "ok".
+func (d *Driver) doBatch(ctx context.Context, tenant string, batch []Item) string {
 	req := service.BatchRequest{Solver: d.cfg.Solver, Timeout: d.cfg.SolveTimeout.String()}
 	for _, it := range batch {
 		req.Instances = append(req.Instances, it.Inst)
@@ -639,7 +758,7 @@ func (d *Driver) doBatch(ctx context.Context, tenant string, items []Item, at in
 	var resp service.BatchResponse
 	if err := d.post(ctx, tenant, "/v1/batch-solve", req, &resp); err != nil {
 		d.countError(ClassBatch, tenant, err)
-		return
+		return outcomeOf(err)
 	}
 	for _, res := range resp.Results {
 		switch {
@@ -660,16 +779,17 @@ func (d *Driver) doBatch(ctx context.Context, tenant string, items []Item, at in
 			}
 		}
 	}
+	return OutcomeOK
 }
 
 // doJob submits an asynchronous job, follows its SSE stream to the terminal
-// state and revalidates the final schedule.
-func (d *Driver) doJob(ctx context.Context, tenant string, item Item) {
+// state, revalidates the final schedule and returns the request outcome.
+func (d *Driver) doJob(ctx context.Context, tenant string, item Item) string {
 	var snap jobs.Snapshot
 	req := service.JobRequest{Solver: d.cfg.Solver, Instance: item.Inst, Timeout: d.cfg.JobTimeout.String()}
 	if err := d.post(ctx, tenant, "/v1/jobs", req, &snap); err != nil {
 		d.countError(ClassJobs, tenant, err)
-		return
+		return outcomeOf(err)
 	}
 	incumbents, err := d.followEvents(ctx, snap.ID)
 	d.mu.Lock()
@@ -677,12 +797,12 @@ func (d *Driver) doJob(ctx context.Context, tenant string, item Item) {
 	d.mu.Unlock()
 	if err != nil {
 		d.countError(ClassJobs, tenant, err)
-		return
+		return OutcomeError
 	}
 	final, err := d.getJob(ctx, snap.ID)
 	if err != nil {
 		d.countError(ClassJobs, tenant, err)
-		return
+		return OutcomeError
 	}
 	switch final.State {
 	case jobs.StateDone:
@@ -693,15 +813,19 @@ func (d *Driver) doJob(ctx context.Context, tenant string, item Item) {
 		if final.Result == nil {
 			err := d.oracle.CheckSchedule(label, item.Inst, nil, -1, -1)
 			d.countError(ClassJobs, tenant, err)
-			return
+			return OutcomeError
 		}
 		if err := d.oracle.CheckSchedule(label, item.Inst, final.Result.Schedule, final.Result.Makespan, final.Result.Wasted); err != nil {
 			d.countError(ClassJobs, tenant, err)
+			return OutcomeError
 		}
+		return OutcomeOK
 	case jobs.StateCancelled:
 		d.countCancelled(ClassJobs, tenant)
+		return OutcomeCancelled
 	default:
 		d.countError(ClassJobs, tenant, fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error))
+		return OutcomeError
 	}
 }
 
@@ -760,9 +884,16 @@ func (d *Driver) getJob(ctx context.Context, id string) (*jobs.Snapshot, error) 
 func (d *Driver) report(elapsed time.Duration, delta MetricsSnapshot) *Report {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	seed := int64(0)
+	if d.cfg.Corpus != nil {
+		seed = d.cfg.Corpus.Seed
+	} else if d.cfg.Replay != nil {
+		seed = d.cfg.Replay.Seed
+	}
 	rep := &Report{
-		Seed:           d.cfg.Corpus.Seed,
+		Seed:           seed,
 		Mix:            d.cfg.Mix,
+		Replayed:       d.cfg.Replay != nil,
 		RatePerSec:     d.cfg.Rate,
 		DurationSec:    elapsed.Seconds(),
 		Shed:           d.shed,

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// ShardCorpus returns the slice of the corpus that shard `shard` of `of`
+// drives: items are dealt round-robin by their global corpus index, so the
+// shards are disjoint, their union is the whole corpus, and the split is the
+// same on every machine that built the corpus from the same seed. Families
+// left empty on a shard are dropped.
+func ShardCorpus(c *Corpus, shard, of int) *Corpus {
+	if of <= 1 {
+		return c
+	}
+	out := &Corpus{Seed: c.Seed}
+	idx := 0
+	for _, fam := range c.Families {
+		var keep Family
+		keep.Name = fam.Name
+		for _, inst := range fam.Instances {
+			if idx%of == shard {
+				keep.Instances = append(keep.Instances, inst)
+			}
+			idx++
+		}
+		if len(keep.Instances) > 0 {
+			out.Families = append(out.Families, keep)
+		}
+	}
+	return out
+}
+
+// shardConfig derives shard i's driver configuration from the fleet
+// configuration: a live run splits the corpus and the offered rates so the
+// fleet's total load equals the single-driver load; a replay run splits the
+// recording by Seq. Shards never scrape /metrics themselves — RunFleet
+// scrapes once around the whole fleet.
+func shardConfig(cfg Config, shard, of int) Config {
+	out := cfg
+	out.SkipMetrics = true
+	if cfg.Replay != nil {
+		out.Replay = cfg.Replay.Shard(shard, of)
+		return out
+	}
+	out.Corpus = ShardCorpus(cfg.Corpus, shard, of)
+	out.Rate = cfg.Rate / float64(of)
+	if len(cfg.Tenants) > 0 {
+		out.Tenants = make([]TenantLoad, len(cfg.Tenants))
+		for i, tl := range cfg.Tenants {
+			if tl.Rate > 0 {
+				tl.Rate /= float64(of)
+			}
+			out.Tenants[i] = tl
+		}
+	}
+	return out
+}
+
+// RunFleet drives the server with `shards` concurrent in-process driver
+// shards sharing one Recorder (when set) and returns the merged report. The
+// /metrics movement is scraped once around the whole fleet — per-shard
+// scrapes against the shared server would multiply-count every cache hit —
+// and installed as the merged report's Cache/MetricsDelta. With shards ≤ 1
+// this is exactly Driver.Run.
+func RunFleet(ctx context.Context, cfg Config, shards int) (*Report, error) {
+	if shards <= 1 {
+		d, err := NewDriver(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return d.Run(ctx)
+	}
+	if cfg.Replay != nil && len(cfg.Replay.Entries) < shards {
+		return nil, fmt.Errorf("harness: recording has %d entries, fewer than %d shards", len(cfg.Replay.Entries), shards)
+	}
+
+	drivers := make([]*Driver, shards)
+	for i := range drivers {
+		d, err := NewDriver(shardConfig(cfg, i, shards))
+		if err != nil {
+			return nil, fmt.Errorf("harness: shard %d: %w", i, err)
+		}
+		drivers[i] = d
+	}
+
+	client := drivers[0].cfg.Client
+	var before MetricsSnapshot
+	scrape := !cfg.SkipMetrics
+	if scrape {
+		var err error
+		before, err = ScrapeMetrics(client, cfg.BaseURL+"/metrics")
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	reports := make([]*Report, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i, d := range drivers {
+		wg.Add(1)
+		go func(i int, d *Driver) {
+			defer wg.Done()
+			reports[i], errs[i] = d.Run(ctx)
+		}(i, d)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: shard %d: %w", i, err)
+		}
+	}
+
+	merged, err := MergeReports(reports...)
+	if err != nil {
+		return nil, err
+	}
+	merged.Shards = shards
+	merged.RatePerSec = cfg.Rate
+	if scrape {
+		after, err := ScrapeMetrics(client, cfg.BaseURL+"/metrics")
+		if err != nil {
+			return nil, err
+		}
+		delta := before.Delta(after)
+		merged.MetricsDelta = delta
+		merged.Cache = delta.Cache()
+	}
+	if merged.DurationSec > 0 {
+		merged.Throughput = float64(merged.Requests) / merged.DurationSec
+	}
+	return merged, nil
+}

@@ -2,15 +2,36 @@ package harness
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"crsharing/internal/stats"
 )
 
-// LatencySummary is a latency distribution in milliseconds, read off one
-// stats.Summarize pass over the class's samples.
+// The per-class latency histograms use a fixed log10(ms) domain so the
+// histograms of any two runs — different shards, different processes,
+// different machines — always share bounds and merge exactly. The range spans
+// 10µs to 100s at 0.05 decades per bucket (≈12% relative width), which is
+// finer than any latency SLO this harness gates.
+const (
+	latHistLo      = -2.0 // 10^-2 ms = 10µs
+	latHistHi      = 5.0  // 10^5 ms = 100s
+	latHistBuckets = 140
+)
+
+// newLatencyHistogram returns an empty histogram over the canonical log10(ms)
+// latency domain.
+func newLatencyHistogram() *stats.Histogram {
+	return stats.NewHistogram(latHistLo, latHistHi, latHistBuckets)
+}
+
+// LatencySummary is a latency distribution in milliseconds. For a single run
+// the quantiles are exact (read off the raw samples); for a merged report
+// they are re-estimated from the merged histogram, within one bucket width
+// (≈12% relative).
 type LatencySummary struct {
 	Count  int     `json:"count"`
 	MeanMS float64 `json:"mean_ms"`
@@ -19,14 +40,17 @@ type LatencySummary struct {
 	P90MS  float64 `json:"p90_ms"`
 	P99MS  float64 `json:"p99_ms"`
 	MaxMS  float64 `json:"max_ms"`
-	// Histogram is the fixed-width ASCII histogram of the samples (empty
-	// when there are none); it renders under the summary line in text
-	// reports and survives into the JSON artifact for offline inspection.
+	// Hist is the structured sample histogram over the canonical log10(ms)
+	// domain — the mergeable representation that lets -merge pool the
+	// latency distributions of shard reports exactly.
+	Hist *stats.Histogram `json:"hist,omitempty"`
+	// Histogram is the human-readable rendering of Hist (empty when there
+	// are no samples); it renders under the summary line in text reports.
 	Histogram string `json:"histogram,omitempty"`
 }
 
-// summarizeLatency folds millisecond samples into a LatencySummary with a
-// 20-bucket histogram spanning the observed range.
+// summarizeLatency folds millisecond samples into a LatencySummary with exact
+// quantiles and the canonical mergeable histogram.
 func summarizeLatency(ms []float64) LatencySummary {
 	s := stats.Summarize(ms)
 	out := LatencySummary{
@@ -39,17 +63,282 @@ func summarizeLatency(ms []float64) LatencySummary {
 		MaxMS:  s.Max,
 	}
 	if s.Count > 0 {
-		hi := s.Max
-		if hi <= s.Min {
-			hi = s.Min + 1
-		}
-		h := stats.NewHistogram(s.Min, hi+(hi-s.Min)*1e-9, 20)
+		h := newLatencyHistogram()
 		for _, x := range ms {
-			h.Add(x)
+			h.Add(logMS(x))
 		}
-		out.Histogram = h.String()
+		out.Hist = h
+		out.Histogram = renderLatencyHistogram(h)
 	}
 	return out
+}
+
+// logMS maps a millisecond sample into the histogram's log domain;
+// non-positive samples (sub-nanosecond clock noise) clamp to the low edge.
+func logMS(ms float64) float64 {
+	if ms <= 0 {
+		return latHistLo
+	}
+	return math.Log10(ms)
+}
+
+// mergeLatency pools two summaries: counts, mean, min and max merge exactly;
+// the quantiles are re-estimated from the merged histogram.
+func mergeLatency(a, b LatencySummary) (LatencySummary, error) {
+	if a.Count == 0 {
+		return b, nil
+	}
+	if b.Count == 0 {
+		return a, nil
+	}
+	na, nb := float64(a.Count), float64(b.Count)
+	out := LatencySummary{
+		Count:  a.Count + b.Count,
+		MeanMS: (na*a.MeanMS + nb*b.MeanMS) / (na + nb),
+		MinMS:  math.Min(a.MinMS, b.MinMS),
+		MaxMS:  math.Max(a.MaxMS, b.MaxMS),
+	}
+	if a.Hist == nil || b.Hist == nil {
+		return LatencySummary{}, errors.New("harness: latency summary carries no histogram; reports predating the shard format cannot be merged")
+	}
+	h := a.Hist.Clone()
+	if err := h.Merge(b.Hist); err != nil {
+		return LatencySummary{}, fmt.Errorf("harness: merging latency histograms: %w", err)
+	}
+	out.Hist = h
+	// Quantile estimates interpolate inside a bucket, so they can poke past
+	// the true extremes; the exact pooled min/max are known, so clamp.
+	clamp := func(q float64) float64 {
+		return math.Min(math.Max(math.Pow(10, h.Quantile(q)), out.MinMS), out.MaxMS)
+	}
+	out.P50MS = clamp(0.50)
+	out.P90MS = clamp(0.90)
+	out.P99MS = clamp(0.99)
+	out.Histogram = renderLatencyHistogram(h)
+	return out, nil
+}
+
+// renderLatencyHistogram renders the log-domain histogram as an ASCII bar
+// chart with millisecond labels, coalescing the occupied buckets into at most
+// 16 display rows.
+func renderLatencyHistogram(h *stats.Histogram) string {
+	first, last := -1, -1
+	for i, c := range h.Buckets {
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		return ""
+	}
+	const maxRows = 16
+	group := (last - first + maxRows) / maxRows // ceil(span/maxRows)
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	var rows []struct {
+		lo, hi float64
+		count  int
+	}
+	maxCount := 1
+	for i := first; i <= last; i += group {
+		end := i + group
+		if end > last+1 {
+			end = last + 1
+		}
+		count := 0
+		for j := i; j < end; j++ {
+			count += h.Buckets[j]
+		}
+		rows = append(rows, struct {
+			lo, hi float64
+			count  int
+		}{
+			lo:    math.Pow(10, h.Lo+float64(i)*width),
+			hi:    math.Pow(10, h.Lo+float64(end)*width),
+			count: count,
+		})
+		if count > maxCount {
+			maxCount = count
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		bar := strings.Repeat("#", r.count*40/maxCount)
+		fmt.Fprintf(&b, "[%9.3f, %9.3f) ms %6d %s\n", r.lo, r.hi, r.count, bar)
+	}
+	if h.Underflow > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.Underflow)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.Overflow)
+	}
+	return b.String()
+}
+
+// mergeTelemetry pools two per-class telemetry aggregates.
+func mergeTelemetry(a, b TelemetryAgg) TelemetryAgg {
+	out := TelemetryAgg{Nodes: a.Nodes + b.Nodes, Incumbents: a.Incumbents + b.Incumbents}
+	if len(a.Sources)+len(b.Sources) > 0 {
+		out.Sources = make(map[string]int, len(a.Sources)+len(b.Sources))
+		for s, n := range a.Sources {
+			out.Sources[s] += n
+		}
+		for s, n := range b.Sources {
+			out.Sources[s] += n
+		}
+	}
+	return out
+}
+
+// mergeClassStats pools two per-class aggregates of the same class.
+func mergeClassStats(a, b *ClassStats) (*ClassStats, error) {
+	if a == nil {
+		return b, nil
+	}
+	if b == nil {
+		return a, nil
+	}
+	out := &ClassStats{
+		Requests:    a.Requests + b.Requests,
+		Errors:      a.Errors + b.Errors,
+		Shed:        a.Shed + b.Shed,
+		Cancelled:   a.Cancelled + b.Cancelled,
+		CacheServed: a.CacheServed + b.CacheServed,
+		Incumbents:  a.Incumbents + b.Incumbents,
+		Telemetry:   mergeTelemetry(a.Telemetry, b.Telemetry),
+	}
+	out.ErrorSamples = append(out.ErrorSamples, a.ErrorSamples...)
+	for _, e := range b.ErrorSamples {
+		if len(out.ErrorSamples) >= maxErrorSamples {
+			break
+		}
+		out.ErrorSamples = append(out.ErrorSamples, e)
+	}
+	var err error
+	if out.Latency, err = mergeLatency(a.Latency, b.Latency); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// mergeTenantStats pools two per-tenant aggregates of the same tenant.
+func mergeTenantStats(a, b *TenantStats) (*TenantStats, error) {
+	if a == nil {
+		return b, nil
+	}
+	if b == nil {
+		return a, nil
+	}
+	out := &TenantStats{
+		Requests:    a.Requests + b.Requests,
+		Errors:      a.Errors + b.Errors,
+		Shed:        a.Shed + b.Shed,
+		Cancelled:   a.Cancelled + b.Cancelled,
+		CacheServed: a.CacheServed + b.CacheServed,
+		Telemetry:   mergeTelemetry(a.Telemetry, b.Telemetry),
+	}
+	var err error
+	if out.Latency, err = mergeLatency(a.Latency, b.Latency); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MergeReports pools shard reports into one fleet report: counts, oracle
+// verdicts, telemetry and cache accounting add exactly; latency quantiles are
+// re-estimated from the merged histograms (the canonical log-domain bounds
+// make every pair of reports mergeable — a bounds mismatch is a typed error,
+// never a silent misbin). Rates add (shards split one offered load),
+// durations take the maximum (shards run concurrently), and throughput is
+// recomputed from the pooled totals. For in-process shards sharing one
+// server, RunFleet overwrites Cache/MetricsDelta with a single whole-fleet
+// scrape; for cross-process merges the per-report deltas add, which is
+// correct when each driver scraped its own server or disjoint time windows.
+func MergeReports(reports ...*Report) (*Report, error) {
+	if len(reports) == 0 {
+		return nil, errors.New("harness: no reports to merge")
+	}
+	out := &Report{
+		Seed:       reports[0].Seed,
+		Mix:        reports[0].Mix,
+		Replayed:   reports[0].Replayed,
+		Classes:    map[string]*ClassStats{},
+		Properties: map[string]int{},
+	}
+	for _, r := range reports {
+		shards := r.Shards
+		if shards <= 0 {
+			shards = 1
+		}
+		out.Shards += shards
+		out.RatePerSec += r.RatePerSec
+		if r.DurationSec > out.DurationSec {
+			out.DurationSec = r.DurationSec
+		}
+		out.Requests += r.Requests
+		out.Shed += r.Shed
+		out.ServerShed += r.ServerShed
+		out.Validated += r.Validated
+		out.ViolationCount += r.ViolationCount
+		for _, v := range r.Violations {
+			if len(out.Violations) < maxRecordedViolations {
+				out.Violations = append(out.Violations, v)
+			}
+		}
+		for p, n := range r.Properties {
+			out.Properties[p] += n
+		}
+		for class, cs := range r.Classes {
+			merged, err := mergeClassStats(out.Classes[class], cs)
+			if err != nil {
+				return nil, fmt.Errorf("class %s: %w", class, err)
+			}
+			out.Classes[class] = merged
+		}
+		for tenant, ts := range r.Tenants {
+			if out.Tenants == nil {
+				out.Tenants = map[string]*TenantStats{}
+			}
+			merged, err := mergeTenantStats(out.Tenants[tenant], ts)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %s: %w", tenant, err)
+			}
+			out.Tenants[tenant] = merged
+		}
+		out.Cache.FreshSolves += r.Cache.FreshSolves
+		out.Cache.CacheServed += r.Cache.CacheServed
+		for k, v := range r.MetricsDelta {
+			if out.MetricsDelta == nil {
+				out.MetricsDelta = MetricsSnapshot{}
+			}
+			out.MetricsDelta[k] += v
+		}
+	}
+	if total := out.Cache.FreshSolves + out.Cache.CacheServed; total > 0 {
+		out.Cache.HitRatio = out.Cache.CacheServed / total
+	}
+	if out.DurationSec > 0 {
+		out.Throughput = float64(out.Requests) / out.DurationSec
+	}
+	if out.Violations == nil {
+		out.Violations = []string{}
+	}
+	return out, nil
+}
+
+// ParseReport decodes a report previously written by Report.JSON, for
+// cross-process merging (crload -merge).
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("harness: parsing report: %w", err)
+	}
+	if r.Classes == nil {
+		return nil, errors.New("harness: report carries no per-class stats (not a crload report?)")
+	}
+	return &r, nil
 }
 
 // JSON serialises the report, indented, for the BENCH_load.json artifact.
@@ -62,8 +351,15 @@ func (r *Report) JSON() ([]byte, error) {
 // accounting.
 func (r *Report) Text() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "crload: seed=%d rate=%g/s duration=%.2fs mix=solve:%d,batch:%d,jobs:%d\n",
+	fmt.Fprintf(&b, "crload: seed=%d rate=%g/s duration=%.2fs mix=solve:%d,batch:%d,jobs:%d",
 		r.Seed, r.RatePerSec, r.DurationSec, r.Mix.Solve, r.Mix.Batch, r.Mix.Jobs)
+	if r.Replayed {
+		b.WriteString(" (replay)")
+	}
+	if r.Shards > 1 {
+		fmt.Fprintf(&b, " shards=%d", r.Shards)
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "requests=%d shed=%d server-shed=%d throughput=%.1f req/s\n", r.Requests, r.Shed, r.ServerShed, r.Throughput)
 
 	classes := make([]string, 0, len(r.Classes))

@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// SLO is a declarative service-level objective evaluated against a load
+// report (single-shard or merged). The zero value of every field means "not
+// gated"; a ceiling of zero is expressed by the pointer fields. Specs decode
+// strictly — an unknown key is a config error, not a silently ignored gate.
+type SLO struct {
+	// MaxP99MS caps the P99 latency per request class, in milliseconds. A
+	// class named here must appear in the report with traffic; gating a class
+	// the run never exercised is a violation, not a free pass.
+	MaxP99MS map[string]float64 `json:"max_p99_ms,omitempty"`
+	// MaxShedRate caps (driver sheds + server sheds) / offered arrivals.
+	MaxShedRate *float64 `json:"max_shed_rate,omitempty"`
+	// MinCacheHitRatio floors the run's cache hit ratio.
+	MinCacheHitRatio *float64 `json:"min_cache_hit_ratio,omitempty"`
+	// MaxOracleViolations caps the invariant-oracle failures (normally 0,
+	// which the zero value provides: any violation gates).
+	MaxOracleViolations int `json:"max_oracle_violations"`
+	// MinRequests floors the completed-request count, so an SLO cannot pass
+	// vacuously on a run that did nothing.
+	MinRequests int `json:"min_requests,omitempty"`
+}
+
+// SLOViolation is one failed objective, carrying the gate, the observed value
+// and the bound for the human-readable verdict.
+type SLOViolation struct {
+	Gate     string  `json:"gate"`
+	Observed float64 `json:"observed"`
+	Bound    float64 `json:"bound"`
+	Message  string  `json:"message"`
+}
+
+func (v SLOViolation) String() string { return v.Message }
+
+// ParseSLO decodes a strict JSON SLO spec.
+func ParseSLO(data []byte) (*SLO, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s SLO
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("harness: parsing SLO spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("harness: SLO spec has trailing data")
+	}
+	for class := range s.MaxP99MS {
+		switch class {
+		case ClassSolve, ClassBatch, ClassJobs:
+		default:
+			return nil, fmt.Errorf("harness: SLO gates unknown class %q (want solve, batch or jobs)", class)
+		}
+	}
+	return &s, nil
+}
+
+// LoadSLO reads and parses an SLO spec file.
+func LoadSLO(path string) (*SLO, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ParseSLO(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// ShedRate returns the report's overall shed fraction: arrivals the driver
+// dropped at its inflight cap plus server quota refusals, over everything
+// offered (completed requests + driver sheds).
+func (r *Report) ShedRate() float64 {
+	offered := r.Requests + r.Shed
+	if offered == 0 {
+		return 0
+	}
+	return float64(r.Shed+r.ServerShed) / float64(offered)
+}
+
+// Evaluate checks every declared objective against the report and returns the
+// violations, in a stable order. An empty slice means the SLO holds.
+func (s *SLO) Evaluate(r *Report) []SLOViolation {
+	var out []SLOViolation
+
+	classes := make([]string, 0, len(s.MaxP99MS))
+	for class := range s.MaxP99MS {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		bound := s.MaxP99MS[class]
+		cs := r.Classes[class]
+		if cs == nil || cs.Latency.Count == 0 {
+			out = append(out, SLOViolation{
+				Gate:  "p99/" + class,
+				Bound: bound,
+				Message: fmt.Sprintf("p99/%s: class saw no traffic, cannot attest p99 <= %.3fms "+
+					"(gated classes must be exercised)", class, bound),
+			})
+			continue
+		}
+		if p99 := cs.Latency.P99MS; p99 > bound {
+			out = append(out, SLOViolation{
+				Gate:     "p99/" + class,
+				Observed: p99,
+				Bound:    bound,
+				Message:  fmt.Sprintf("p99/%s: %.3fms exceeds ceiling %.3fms over %d requests", class, p99, bound, cs.Latency.Count),
+			})
+		}
+	}
+
+	if s.MaxShedRate != nil {
+		if rate := r.ShedRate(); rate > *s.MaxShedRate {
+			out = append(out, SLOViolation{
+				Gate:     "shed-rate",
+				Observed: rate,
+				Bound:    *s.MaxShedRate,
+				Message: fmt.Sprintf("shed-rate: %.4f (driver %d + server %d of %d offered) exceeds ceiling %.4f",
+					rate, r.Shed, r.ServerShed, r.Requests+r.Shed, *s.MaxShedRate),
+			})
+		}
+	}
+
+	if s.MinCacheHitRatio != nil {
+		if ratio := r.Cache.HitRatio; ratio < *s.MinCacheHitRatio {
+			out = append(out, SLOViolation{
+				Gate:     "cache-hit-ratio",
+				Observed: ratio,
+				Bound:    *s.MinCacheHitRatio,
+				Message: fmt.Sprintf("cache-hit-ratio: %.4f (served %.0f of %.0f) below floor %.4f",
+					ratio, r.Cache.CacheServed, r.Cache.CacheServed+r.Cache.FreshSolves, *s.MinCacheHitRatio),
+			})
+		}
+	}
+
+	if r.ViolationCount > s.MaxOracleViolations {
+		msg := fmt.Sprintf("oracle: %d invariant violations exceed the allowed %d", r.ViolationCount, s.MaxOracleViolations)
+		if len(r.Violations) > 0 {
+			msg += " (first: " + r.Violations[0] + ")"
+		}
+		out = append(out, SLOViolation{
+			Gate:     "oracle",
+			Observed: float64(r.ViolationCount),
+			Bound:    float64(s.MaxOracleViolations),
+			Message:  msg,
+		})
+	}
+
+	if s.MinRequests > 0 && r.Requests < s.MinRequests {
+		out = append(out, SLOViolation{
+			Gate:     "min-requests",
+			Observed: float64(r.Requests),
+			Bound:    float64(s.MinRequests),
+			Message:  fmt.Sprintf("min-requests: run completed %d requests, below floor %d (SLO would pass vacuously)", r.Requests, s.MinRequests),
+		})
+	}
+	return out
+}
+
+// RenderSLOVerdict renders the gate outcome for terminal output: one line per
+// objective violated, or a pass line naming the gates that held.
+func RenderSLOVerdict(s *SLO, violations []SLOViolation) string {
+	if len(violations) == 0 {
+		gates := 0
+		gates += len(s.MaxP99MS)
+		if s.MaxShedRate != nil {
+			gates++
+		}
+		if s.MinCacheHitRatio != nil {
+			gates++
+		}
+		gates++ // the oracle gate always applies
+		if s.MinRequests > 0 {
+			gates++
+		}
+		return fmt.Sprintf("SLO: PASS (%d gates held)", gates)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SLO: FAIL (%d violations)\n", len(violations))
+	for _, v := range violations {
+		fmt.Fprintf(&b, "  SLO VIOLATION %s\n", v.Message)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

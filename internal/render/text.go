@@ -1,0 +1,58 @@
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eight block glyphs a sparkline is drawn with, lowest to
+// highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the series as one glyph per value, scaled to the series'
+// own min..max range, so the shape of a benchmark's samples (or a trajectory
+// across runs) is visible in a table cell. An empty series renders empty; a
+// constant series renders mid-height.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((x - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// DeltaBar renders a signed fractional change as a percentage with a
+// proportional bar: '+' glyphs for growth (a regression, when the metric is
+// cost) and '-' glyphs for shrinkage, one glyph per `step` fraction, capped
+// at `width` glyphs. DeltaBar(0.25, 0.05, 10) → "+25.0% +++++".
+func DeltaBar(frac, step float64, width int) string {
+	if step <= 0 || width <= 0 {
+		return fmt.Sprintf("%+.1f%%", 100*frac)
+	}
+	n := int(math.Round(math.Abs(frac) / step))
+	if n > width {
+		n = width
+	}
+	glyph := "+"
+	if frac < 0 {
+		glyph = "-"
+	}
+	bar := strings.Repeat(glyph, n)
+	if bar == "" {
+		return fmt.Sprintf("%+.1f%%", 100*frac)
+	}
+	return fmt.Sprintf("%+.1f%% %s", 100*frac, bar)
+}

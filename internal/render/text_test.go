@@ -1,0 +1,46 @@
+package render
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty series rendered %q", got)
+	}
+	got := Sparkline([]float64{0, 1, 2, 3})
+	if n := len([]rune(got)); n != 4 {
+		t.Fatalf("sparkline has %d glyphs, want 4: %q", n, got)
+	}
+	runes := []rune(got)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("extremes not mapped to lowest/highest glyph: %q", got)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("monotone series rendered non-monotone: %q", got)
+		}
+	}
+	if got := Sparkline([]float64{5, 5, 5}); strings.ContainsAny(got, "▁█") {
+		t.Errorf("constant series hit an extreme glyph: %q", got)
+	}
+}
+
+func TestDeltaBar(t *testing.T) {
+	got := DeltaBar(0.25, 0.05, 10)
+	if got != "+25.0% +++++" {
+		t.Errorf("DeltaBar(0.25) = %q", got)
+	}
+	got = DeltaBar(-0.10, 0.05, 10)
+	if got != "-10.0% --" {
+		t.Errorf("DeltaBar(-0.10) = %q", got)
+	}
+	// Tiny deltas render the percentage alone, huge ones cap at the width.
+	if got := DeltaBar(0.001, 0.05, 10); strings.ContainsAny(got, "+-") && strings.Contains(got, "% +") {
+		t.Errorf("tiny delta grew a bar: %q", got)
+	}
+	if got := DeltaBar(5.0, 0.05, 10); strings.Count(got, "+") != 11 { // "+500.0%" has one '+', bar capped at 10
+		t.Errorf("huge delta not capped: %q", got)
+	}
+}

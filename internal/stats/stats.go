@@ -136,13 +136,45 @@ func quantileSorted(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// MergeSummaries pools two summaries exactly for Count, Mean, StdDev, Min and
+// Max (the pooled standard deviation is reconstructed from the per-summary
+// moments). Quantiles are NOT mergeable from summaries alone — P50/P90/P99 of
+// the result are zero and must be re-estimated by the caller, typically from a
+// merged Histogram (see Histogram.Merge and Histogram.Quantile).
+func MergeSummaries(a, b Summary) Summary {
+	if a.Count == 0 {
+		return Summary{Count: b.Count, Mean: b.Mean, StdDev: b.StdDev, Min: b.Min, Max: b.Max}
+	}
+	if b.Count == 0 {
+		return Summary{Count: a.Count, Mean: a.Mean, StdDev: a.StdDev, Min: a.Min, Max: a.Max}
+	}
+	na, nb := float64(a.Count), float64(b.Count)
+	out := Summary{
+		Count: a.Count + b.Count,
+		Mean:  (na*a.Mean + nb*b.Mean) / (na + nb),
+		Min:   math.Min(a.Min, b.Min),
+		Max:   math.Max(a.Max, b.Max),
+	}
+	// Pooled variance via the combined sum of squared deviations: each side
+	// contributes its own M2 = (n-1)·sd² plus the shift of its mean to the
+	// pooled mean.
+	m2 := (na-1)*a.StdDev*a.StdDev + na*(a.Mean-out.Mean)*(a.Mean-out.Mean) +
+		(nb-1)*b.StdDev*b.StdDev + nb*(b.Mean-out.Mean)*(b.Mean-out.Mean)
+	if out.Count > 1 {
+		out.StdDev = math.Sqrt(m2 / float64(out.Count-1))
+	}
+	return out
+}
+
 // Histogram is a fixed-width histogram over [Lo, Hi).
 type Histogram struct {
-	Lo, Hi  float64
-	Buckets []int
-	// Underflow and Overflow count samples outside [Lo, Hi).
-	Underflow int
-	Overflow  int
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+	Buckets []int   `json:"buckets"`
+	// Underflow and Overflow count samples outside [Lo, Hi); Add never drops
+	// a sample silently.
+	Underflow int `json:"underflow,omitempty"`
+	Overflow  int `json:"overflow,omitempty"`
 }
 
 // NewHistogram returns a histogram with the given number of equal-width
@@ -170,6 +202,82 @@ func (h *Histogram) Add(x float64) {
 		idx = len(h.Buckets) - 1
 	}
 	h.Buckets[idx]++
+}
+
+// BoundsMismatchError reports a Histogram.Merge whose operands do not share
+// bounds and bucket count. Merging such histograms would silently misbin every
+// sample of the other run, so the merge refuses instead.
+type BoundsMismatchError struct {
+	ALo, AHi float64
+	ABuckets int
+	BLo, BHi float64
+	BBuckets int
+}
+
+func (e *BoundsMismatchError) Error() string {
+	return fmt.Sprintf("stats: histogram bounds mismatch: [%g, %g)/%d vs [%g, %g)/%d",
+		e.ALo, e.AHi, e.ABuckets, e.BLo, e.BHi, e.BBuckets)
+}
+
+// Merge folds o into h. Bucket, underflow and overflow counts add exactly, so
+// merging the histograms of K disjoint shards equals building one histogram
+// over the pooled samples. The histograms must share Lo, Hi and bucket count;
+// otherwise Merge returns a *BoundsMismatchError and leaves h unchanged.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Buckets) != len(o.Buckets) {
+		return &BoundsMismatchError{
+			ALo: h.Lo, AHi: h.Hi, ABuckets: len(h.Buckets),
+			BLo: o.Lo, BHi: o.Hi, BBuckets: len(o.Buckets),
+		}
+	}
+	for i, c := range o.Buckets {
+		h.Buckets[i] += c
+	}
+	h.Underflow += o.Underflow
+	h.Overflow += o.Overflow
+	return nil
+}
+
+// Clone returns a deep copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	out := *h
+	out.Buckets = append([]int(nil), h.Buckets...)
+	return &out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts with
+// linear interpolation inside the selected bucket, so the estimate is within
+// one bucket width of the exact sample quantile. Underflow mass is treated as
+// sitting at Lo and overflow mass at Hi. An empty histogram yields 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := float64(h.Underflow)
+	if rank <= cum {
+		return h.Lo
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			frac := (rank - cum) / float64(c)
+			return h.Lo + (float64(i)+frac)*width
+		}
+		cum = next
+	}
+	return h.Hi
 }
 
 // Total returns the number of recorded samples, including under- and

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"errors"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"testing"
@@ -175,5 +177,181 @@ func TestHistogramEdgeBucket(t *testing.T) {
 	}
 	if sum != 1 || h.Overflow != 0 {
 		t.Fatalf("sample just below Hi must land in the last bucket")
+	}
+}
+
+// TestHistogramMergeMatchesPooled is the shard-merge property: merging K
+// disjoint shard histograms equals building one histogram over the pooled
+// samples — Total, bucket counts and under/overflow exact — and the merged
+// quantile estimates land within one bucket width of the exact sample
+// quantiles.
+func TestHistogramMergeMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		shards := 2 + rng.Intn(5)
+		lo, hi, buckets := 0.0, 100.0, 1+rng.Intn(40)
+		pooled := NewHistogram(lo, hi, buckets)
+		merged := NewHistogram(lo, hi, buckets)
+		var samples []float64
+		for s := 0; s < shards; s++ {
+			h := NewHistogram(lo, hi, buckets)
+			for i := 0; i < rng.Intn(200); i++ {
+				// Include out-of-range mass so the merge must carry it too.
+				x := -10 + rng.Float64()*120
+				samples = append(samples, x)
+				pooled.Add(x)
+				h.Add(x)
+			}
+			if err := merged.Merge(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.Total() != pooled.Total() || merged.Total() != len(samples) {
+			t.Fatalf("trial %d: merged total %d, pooled %d, samples %d",
+				trial, merged.Total(), pooled.Total(), len(samples))
+		}
+		if merged.Underflow != pooled.Underflow || merged.Overflow != pooled.Overflow {
+			t.Fatalf("trial %d: under/overflow merged %d/%d pooled %d/%d",
+				trial, merged.Underflow, merged.Overflow, pooled.Underflow, pooled.Overflow)
+		}
+		for i := range merged.Buckets {
+			if merged.Buckets[i] != pooled.Buckets[i] {
+				t.Fatalf("trial %d: bucket %d merged %d pooled %d", trial, i, merged.Buckets[i], pooled.Buckets[i])
+			}
+		}
+		if len(samples) == 0 {
+			continue
+		}
+		width := (hi - lo) / float64(buckets)
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0.5, 0.99} {
+			// The sample at the same rank the histogram walks to; the estimate
+			// must land in that sample's bucket, i.e. within one bucket width.
+			idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			exact := sorted[idx]
+			// Clamp like the histogram does: out-of-range mass sits at the bounds.
+			if exact < lo {
+				exact = lo
+			}
+			if exact > hi {
+				exact = hi
+			}
+			got := merged.Quantile(q)
+			if math.Abs(got-exact) > width+1e-9 {
+				t.Fatalf("trial %d: q=%g estimate %g vs exact %g beyond bucket width %g",
+					trial, q, got, exact, width)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeBoundsMismatch pins the typed refusal: merging histograms
+// with different bounds or bucket counts must return *BoundsMismatchError and
+// leave the receiver untouched instead of silently misbinning.
+func TestHistogramMergeBoundsMismatch(t *testing.T) {
+	base := NewHistogram(0, 1, 4)
+	base.Add(0.5)
+	for _, other := range []*Histogram{
+		NewHistogram(0, 2, 4),
+		NewHistogram(-1, 1, 4),
+		NewHistogram(0, 1, 8),
+	} {
+		err := base.Merge(other)
+		var bm *BoundsMismatchError
+		if !errors.As(err, &bm) {
+			t.Fatalf("Merge returned %v, want *BoundsMismatchError", err)
+		}
+		if bm.Error() == "" {
+			t.Fatal("empty mismatch message")
+		}
+		if base.Total() != 1 || base.Buckets[2] != 1 {
+			t.Fatalf("failed merge mutated the receiver: %+v", base)
+		}
+	}
+}
+
+// TestHistogramOutOfRangeRegression pins the fix for the old data-loss case:
+// out-of-range samples must be counted (underflow/overflow), surface in
+// String(), survive a Merge, and anchor the quantile estimate at the bounds —
+// never be dropped.
+func TestHistogramOutOfRangeRegression(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-5, -1, 20, 30, 40} {
+		h.Add(x)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("out-of-range samples dropped: total %d, want 5", h.Total())
+	}
+	if h.Underflow != 2 || h.Overflow != 3 {
+		t.Fatalf("under/overflow %d/%d, want 2/3", h.Underflow, h.Overflow)
+	}
+	if s := h.String(); !strings.Contains(s, "underflow 2") || !strings.Contains(s, "overflow 3") {
+		t.Fatalf("String does not surface out-of-range mass:\n%s", s)
+	}
+	other := NewHistogram(0, 10, 5)
+	other.Add(-1)
+	other.Add(100)
+	if err := h.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if h.Underflow != 3 || h.Overflow != 4 || h.Total() != 7 {
+		t.Fatalf("merge lost out-of-range mass: %+v", h)
+	}
+	// All mass outside the range: the quantile clamps to the bounds.
+	if q := h.Quantile(0.0); q != 0 {
+		t.Fatalf("q0 = %g, want clamp to Lo", q)
+	}
+	if q := h.Quantile(1.0); q != 10 {
+		t.Fatalf("q1 = %g, want clamp to Hi", q)
+	}
+}
+
+// TestMergeSummariesMatchesPooled checks the exact fields of MergeSummaries
+// against Summarize over the pooled sample; quantiles are intentionally zero
+// (not mergeable from summaries — re-estimate from a merged histogram).
+func TestMergeSummariesMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		a := make([]float64, 1+rng.Intn(100))
+		b := make([]float64, 1+rng.Intn(100))
+		for i := range a {
+			a[i] = rng.NormFloat64() * 10
+		}
+		for i := range b {
+			b[i] = 5 + rng.NormFloat64()*3
+		}
+		got := MergeSummaries(Summarize(a), Summarize(b))
+		want := Summarize(append(append([]float64(nil), a...), b...))
+		if got.Count != want.Count {
+			t.Fatalf("count %d != %d", got.Count, want.Count)
+		}
+		for _, f := range []struct {
+			name string
+			g, w float64
+		}{
+			{"mean", got.Mean, want.Mean},
+			{"stddev", got.StdDev, want.StdDev},
+			{"min", got.Min, want.Min},
+			{"max", got.Max, want.Max},
+		} {
+			if math.Abs(f.g-f.w) > 1e-9*(1+math.Abs(f.w)) {
+				t.Fatalf("trial %d: %s merged %g pooled %g", trial, f.name, f.g, f.w)
+			}
+		}
+		if got.P50 != 0 || got.P99 != 0 {
+			t.Fatalf("merged quantiles must be zero (unmergeable), got %+v", got)
+		}
+	}
+	// Identities with the empty summary.
+	s := Summarize([]float64{1, 2, 3})
+	if got := MergeSummaries(s, Summary{}); got.Count != 3 || got.Mean != s.Mean {
+		t.Fatalf("merge with empty lost data: %+v", got)
+	}
+	if got := MergeSummaries(Summary{}, s); got.Count != 3 || got.StdDev != s.StdDev {
+		t.Fatalf("merge with empty lost data: %+v", got)
 	}
 }
