@@ -22,6 +22,15 @@
 //	crload -merge a.json,b.json -slo slo.json         # pool per-process reports, then gate
 //	crload -seed 1 -slo .github/slo.json              # hard SLO gate for CI
 //
+// And the multi-node tier: -addrs lists the crserved backends behind a
+// crrouter, so the report's cache accounting sums every backend's /metrics
+// (plus the router's) instead of one process. With -addr the router at that
+// URL is driven; without it an in-process crrouter is spun up over the
+// backends:
+//
+//	crload -addr http://127.0.0.1:8090 -addrs http://127.0.0.1:8081,http://127.0.0.1:8082
+//	crload -addrs http://127.0.0.1:8081,http://127.0.0.1:8082 -duration 5s
+//
 // Exit codes: 0 OK; 1 invariant violation or -min-* floor missed; 2 setup or
 // I/O error; 4 SLO violation (the distinct code lets CI tell a gate breach
 // from a broken run).
@@ -31,6 +40,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"strings"
@@ -39,6 +49,7 @@ import (
 
 	"crsharing/internal/engine"
 	"crsharing/internal/harness"
+	"crsharing/internal/router"
 )
 
 // Exit codes of the crload process.
@@ -56,6 +67,7 @@ func fatal(err error) {
 
 func main() {
 	addr := flag.String("addr", "", "base URL of a running crserved (e.g. http://127.0.0.1:8080); empty drives an in-process server")
+	addrsSpec := flag.String("addrs", "", "comma-separated base URLs of the crserved backends behind a router; every backend's /metrics joins the fleet accounting, and without -addr an in-process crrouter is spun up over them")
 	seed := flag.Int64("seed", 1, "corpus seed; the same seed replays the byte-identical workload")
 	duration := flag.Duration("duration", 2*time.Second, "how long to generate arrivals")
 	rate := flag.Float64("rate", 200, "open-loop arrival rate in requests per second")
@@ -138,7 +150,30 @@ func main() {
 		cfg.Recorder = recorder
 	}
 
+	var backendAddrs []string
+	for _, a := range strings.Split(*addrsSpec, ",") {
+		if a = strings.TrimSuffix(strings.TrimSpace(a), "/"); a != "" {
+			backendAddrs = append(backendAddrs, a)
+		}
+	}
+
 	base := *addr
+	if base == "" && len(backendAddrs) > 0 {
+		// Fleet mode without a running router: spin up an in-process crrouter
+		// over the listed backends and drive that.
+		rt, err := router.New(router.Config{Backends: backendAddrs, Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "crload: "+format+"\n", args...)
+		}})
+		if err != nil {
+			fatal(err)
+		}
+		rt.Start()
+		defer rt.Close()
+		ts := httptest.NewServer(rt.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Fprintf(os.Stderr, "crload: driving in-process router at %s over %d backends\n", base, len(backendAddrs))
+	}
 	if base == "" {
 		// The full production stack — one shared engine (registry, memo
 		// cache, admission semaphore, telemetry), job manager, HTTP layer —
@@ -169,6 +204,14 @@ func main() {
 		}
 	}
 	cfg.BaseURL = base
+	if len(backendAddrs) > 0 {
+		// The run's cache accounting must span the whole fleet: scrape every
+		// backend plus the router itself and sum the (counter) deltas.
+		for _, a := range backendAddrs {
+			cfg.MetricsURLs = append(cfg.MetricsURLs, a+"/metrics")
+		}
+		cfg.MetricsURLs = append(cfg.MetricsURLs, base+"/metrics")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

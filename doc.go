@@ -68,6 +68,19 @@
 // store that serves completed schedules across restarts without
 // re-solving.
 //
+// # Fleet tier
+//
+// internal/router and cmd/crrouter scale the serving layer across several
+// backends without giving up the memo cache: instance fingerprints are
+// consistent-hashed to one owning backend (virtual-node hash ring), so the
+// fleet's caches partition the fingerprint space and behave as one cache.
+// Membership is health-probed with ejection and re-admission, a draining
+// backend keeps answering peer cache fills (the service layer's
+// X-CRFleet-Owner / X-CRFleet-Fill headers) while new keys route to its
+// successor, and batches are split by owner and re-merged in order. See
+// ARCHITECTURE.md ("Fleet tier") for the design and README.md for the
+// crrouter flag table and the crload -addrs fleet-drive mode.
+//
 // # End-to-end harness
 //
 // internal/harness and cmd/crload close the loop over the whole stack: a

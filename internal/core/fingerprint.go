@@ -23,6 +23,16 @@ func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
 // labels.
 func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
 
+// Uint64 folds the fingerprint's leading bytes into a uniform 64-bit key.
+// SHA-256 output is uniform, so the prefix is already a high-quality hash —
+// this is the shard/ring key of every fingerprint-partitioned tier.
+func (f Fingerprint) Uint64() uint64 { return binary.BigEndian.Uint64(f[:8]) }
+
+// Shard maps the fingerprint onto one of n shards (n must be positive). Two
+// instances with equal fingerprints land on the same shard on every machine,
+// which is what makes the memo-cache tier partitionable by instance identity.
+func (f Fingerprint) Shard(n int) int { return int(f.Uint64() % uint64(n)) }
+
 // procBlobs serializes each processor's job sequence into a comparable byte
 // string: 16 bytes per job (requirement and size as little-endian IEEE 754
 // bits), with negative zeros normalized to positive zero so that instances

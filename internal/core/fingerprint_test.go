@@ -57,6 +57,32 @@ func TestFingerprintEmptyFraming(t *testing.T) {
 	}
 }
 
+// TestFingerprintShard pins the shard key: deterministic across calls and
+// permutations (it derives from the canonical fingerprint), in range, and
+// reasonably spread over many distinct instances.
+func TestFingerprintShard(t *testing.T) {
+	a := NewInstance([]float64{0.3, 0.7}, []float64{0.5}, []float64{0.9, 0.1})
+	b := NewInstance([]float64{0.9, 0.1}, []float64{0.3, 0.7}, []float64{0.5})
+	if a.Fingerprint().Shard(7) != b.Fingerprint().Shard(7) {
+		t.Fatal("permuted instances must land on the same shard")
+	}
+	if got, want := a.Fingerprint().Uint64(), a.Fingerprint().Uint64(); got != want {
+		t.Fatal("Uint64 must be deterministic")
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 64; i++ {
+		inst := NewInstance([]float64{0.1 + float64(i)/1000})
+		s := inst.Fingerprint().Shard(4)
+		if s < 0 || s >= 4 {
+			t.Fatalf("shard %d out of range [0,4)", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("64 distinct instances only touched %d of 4 shards", len(seen))
+	}
+}
+
 func TestFingerprintNegativeZero(t *testing.T) {
 	a := NewInstance([]float64{0.0})
 	b := NewInstance([]float64{math.Copysign(0, -1)})

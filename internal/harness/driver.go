@@ -206,6 +206,12 @@ type Config struct {
 	// MetricsDelta stay zero). RunFleet sets it on shard drivers so the
 	// shared server's movement is scraped once, not once per shard.
 	SkipMetrics bool
+	// MetricsURLs overrides where the run's metrics movement is scraped:
+	// each URL is scraped before and after the run and the deltas are summed.
+	// A fleet run driving a crrouter sets this to every backend's /metrics
+	// (plus the router's own), so the report's cache accounting spans the
+	// whole fleet instead of one process. Empty scrapes BaseURL+"/metrics".
+	MetricsURLs []string
 }
 
 // TelemetryAgg folds the per-solve engine telemetry of one request class, so
@@ -428,7 +434,7 @@ func (d *Driver) Run(ctx context.Context) (*Report, error) {
 	var before MetricsSnapshot
 	if !d.cfg.SkipMetrics {
 		var err error
-		before, err = ScrapeMetrics(d.cfg.Client, d.cfg.BaseURL+"/metrics")
+		before, err = scrapeAll(d.cfg.Client, d.metricsURLs())
 		if err != nil {
 			return nil, err
 		}
@@ -447,13 +453,21 @@ func (d *Driver) Run(ctx context.Context) (*Report, error) {
 
 	delta := MetricsSnapshot{}
 	if !d.cfg.SkipMetrics {
-		after, err := ScrapeMetrics(d.cfg.Client, d.cfg.BaseURL+"/metrics")
+		after, err := scrapeAll(d.cfg.Client, d.metricsURLs())
 		if err != nil {
 			return nil, err
 		}
 		delta = before.Delta(after)
 	}
 	return d.report(elapsed, delta), nil
+}
+
+// metricsURLs resolves where this run's metrics movement is scraped.
+func (d *Driver) metricsURLs() []string {
+	if len(d.cfg.MetricsURLs) > 0 {
+		return d.cfg.MetricsURLs
+	}
+	return []string{d.cfg.BaseURL + "/metrics"}
 }
 
 // liveArrivals runs the open-loop generator: one arrival loop per tenant at
@@ -880,6 +894,42 @@ func (d *Driver) getJob(ctx context.Context, id string) (*jobs.Snapshot, error) 
 	return &snap, nil
 }
 
+// offeredRate is the arrival rate the run actually offered, which the report
+// states as RatePerSec. cfg.Rate alone misstates it for two run shapes: a
+// replay's schedule comes from the recording (cfg.Rate is ignored entirely),
+// and a multi-tenant run offers the SUM of the tenant rates (a tenant with no
+// rate of its own falls back to the global rate).
+func (d *Driver) offeredRate(elapsed time.Duration) float64 {
+	if d.cfg.Replay != nil {
+		var maxOff int64
+		for i := range d.cfg.Replay.Entries {
+			if off := d.cfg.Replay.Entries[i].OffsetNS; off > maxOff {
+				maxOff = off
+			}
+		}
+		span := time.Duration(float64(maxOff) / d.cfg.ReplaySpeed)
+		if span <= 0 {
+			span = elapsed // single-instant recording: fall back to wall time
+		}
+		if span <= 0 {
+			return 0
+		}
+		return float64(len(d.cfg.Replay.Entries)) / span.Seconds()
+	}
+	if len(d.cfg.Tenants) > 0 {
+		var sum float64
+		for _, tl := range d.cfg.Tenants {
+			if tl.Rate > 0 {
+				sum += tl.Rate
+			} else {
+				sum += d.cfg.Rate
+			}
+		}
+		return sum
+	}
+	return d.cfg.Rate
+}
+
 // report assembles the final Report.
 func (d *Driver) report(elapsed time.Duration, delta MetricsSnapshot) *Report {
 	d.mu.Lock()
@@ -894,7 +944,7 @@ func (d *Driver) report(elapsed time.Duration, delta MetricsSnapshot) *Report {
 		Seed:           seed,
 		Mix:            d.cfg.Mix,
 		Replayed:       d.cfg.Replay != nil,
-		RatePerSec:     d.cfg.Rate,
+		RatePerSec:     d.offeredRate(elapsed),
 		DurationSec:    elapsed.Seconds(),
 		Shed:           d.shed,
 		ServerShed:     d.serverShed,

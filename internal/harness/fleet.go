@@ -87,11 +87,15 @@ func RunFleet(ctx context.Context, cfg Config, shards int) (*Report, error) {
 	}
 
 	client := drivers[0].cfg.Client
+	urls := cfg.MetricsURLs
+	if len(urls) == 0 {
+		urls = []string{cfg.BaseURL + "/metrics"}
+	}
 	var before MetricsSnapshot
 	scrape := !cfg.SkipMetrics
 	if scrape {
 		var err error
-		before, err = ScrapeMetrics(client, cfg.BaseURL+"/metrics")
+		before, err = scrapeAll(client, urls)
 		if err != nil {
 			return nil, err
 		}
@@ -119,9 +123,11 @@ func RunFleet(ctx context.Context, cfg Config, shards int) (*Report, error) {
 		return nil, err
 	}
 	merged.Shards = shards
-	merged.RatePerSec = cfg.Rate
+	// MergeReports already summed the shards' offered rates, which IS the
+	// fleet's offered rate — overwriting it with cfg.Rate misstated replay
+	// and multi-tenant fleets.
 	if scrape {
-		after, err := ScrapeMetrics(client, cfg.BaseURL+"/metrics")
+		after, err := scrapeAll(client, urls)
 		if err != nil {
 			return nil, err
 		}

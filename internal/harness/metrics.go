@@ -47,6 +47,24 @@ func ScrapeMetrics(client *http.Client, url string) (MetricsSnapshot, error) {
 	return snap, nil
 }
 
+// scrapeAll scrapes every URL and sums the samples into one snapshot. All the
+// series the harness reads are counters, so summing before-snapshots and
+// summing after-snapshots makes Delta the fleet-wide movement — this is how a
+// run driving a crrouter accounts cache hits across every backend at once.
+func scrapeAll(client *http.Client, urls []string) (MetricsSnapshot, error) {
+	sum := make(MetricsSnapshot)
+	for _, url := range urls {
+		snap, err := ScrapeMetrics(client, url)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range snap {
+			sum[k] += v
+		}
+	}
+	return sum, nil
+}
+
 // Delta returns after-before for every sample present in after; samples
 // absent from before count from zero.
 func (before MetricsSnapshot) Delta(after MetricsSnapshot) MetricsSnapshot {

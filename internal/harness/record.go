@@ -293,11 +293,25 @@ func (r *Recorder) Len() int {
 }
 
 // Recording snapshots the captured arrivals into a replayable log for the
-// given corpus seed. Entries are returned in Seq order.
+// given corpus seed. Entries are sorted by arrival offset (Seq breaks ties)
+// and renumbered densely: N concurrent driver shards book arrivals into one
+// Recorder in lock-acquisition order, which is NOT offset order, and
+// replayArrivals walks entries in slice order — without the sort, a sharded
+// capture would replay out-of-order offsets as an immediate burst. After the
+// renumber, Seq is both the replay order and the Recording.Shard split key,
+// and decode's dense-Seq check holds.
 func (r *Recorder) Recording(seed int64) *Recording {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	entries := append([]Entry(nil), r.entries...)
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].OffsetNS != entries[j].OffsetNS {
+			return entries[i].OffsetNS < entries[j].OffsetNS
+		}
+		return entries[i].Seq < entries[j].Seq
+	})
+	for i := range entries {
+		entries[i].Seq = i
+	}
 	return &Recording{Seed: seed, Entries: entries}
 }

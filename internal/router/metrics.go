@@ -1,0 +1,53 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// routerMetrics holds the router's own counters and gauges, distinct from the
+// backends' crsharing_* series so a scrape that sums the fleet (the harness
+// does) never double-counts: the router adds routing-level accounting on top,
+// it does not mirror backend work.
+type routerMetrics struct {
+	requests       atomic.Uint64 // every request the router accepted
+	routedSolve    atomic.Uint64
+	routedBatch    atomic.Uint64
+	routedJobs     atomic.Uint64
+	forwardedOwner atomic.Uint64 // requests routed to a non-owner, owner header set
+	batchSplits    atomic.Uint64 // batches split across >1 backend
+	retries        atomic.Uint64 // transport errors retried on another backend
+	errors         atomic.Uint64 // requests the router answered 5xx itself
+	ejections      atomic.Uint64 // backends ejected after consecutive failures
+	readmissions   atomic.Uint64 // ejected backends re-admitted by a probe
+
+	backendsHealthy  atomic.Int64
+	backendsDraining atomic.Int64
+}
+
+// handleMetrics renders the router's counters in the Prometheus text format,
+// same dialect as the backends' /metrics.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rt.m.requests.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	m := &rt.m
+	counter("crrouter_requests_total", "Requests accepted by the router.", m.requests.Load())
+	counter("crrouter_routed_solve_total", "Solve requests routed by fingerprint.", m.routedSolve.Load())
+	counter("crrouter_routed_batch_total", "Batch requests routed (split or whole).", m.routedBatch.Load())
+	counter("crrouter_routed_jobs_total", "Job requests routed or located.", m.routedJobs.Load())
+	counter("crrouter_forwarded_owner_total", "Requests routed to a non-owner carrying the owner header.", m.forwardedOwner.Load())
+	counter("crrouter_batch_splits_total", "Batches split across more than one backend.", m.batchSplits.Load())
+	counter("crrouter_retries_total", "Transport failures retried on a different backend.", m.retries.Load())
+	counter("crrouter_errors_total", "Requests the router itself answered with a 5xx.", m.errors.Load())
+	counter("crrouter_ejections_total", "Backends ejected from the ring after consecutive failures.", m.ejections.Load())
+	counter("crrouter_readmissions_total", "Ejected backends re-admitted after a successful probe.", m.readmissions.Load())
+	gauge("crrouter_backends_healthy", "Backends currently in the owner ring.", m.backendsHealthy.Load())
+	gauge("crrouter_backends_draining", "Healthy backends currently draining.", m.backendsDraining.Load())
+}

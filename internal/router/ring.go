@@ -1,0 +1,93 @@
+// Package router is the multi-node front tier: an HTTP router that
+// consistent-hashes instance fingerprints across several crsharing backends,
+// so the fleet's memo caches partition the fingerprint space instead of each
+// backend re-solving everything. Membership is health-checked (backends are
+// ejected after consecutive probe failures and re-admitted on recovery),
+// backends drain gracefully (a draining backend finishes what it has and
+// keeps serving peer cache fills while new keys route to its successor), and
+// a solve that lands on a non-owner is filled from the owning backend's warm
+// cache via the service package's fleet headers.
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"crsharing/internal/core"
+)
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// backend.
+type ringPoint struct {
+	hash    uint64
+	backend string
+}
+
+// ring is an immutable consistent-hash ring. The router rebuilds it on every
+// membership change (cheap at fleet sizes) and swaps it in under the lock, so
+// lookups never block on probes.
+type ring struct {
+	points []ringPoint
+}
+
+// buildRing places vnodes virtual nodes per backend on the circle. Virtual
+// nodes smooth the per-backend share of the fingerprint space: with one point
+// per backend the arc lengths are wildly uneven, with ~64 the shares
+// concentrate near 1/n. FNV-64a names the points and a splitmix64 finalizer
+// spreads them: virtual-node names differ only in their last few bytes and
+// FNV's final mixing step is too weak to avalanche that difference across the
+// high bits, which left the points clustered and the arc lengths skewed. The
+// lookup keys are fingerprint prefixes (core.Fingerprint.Uint64), already
+// uniform.
+func buildRing(backends []string, vnodes int) *ring {
+	pts := make([]ringPoint, 0, len(backends)*vnodes)
+	for _, b := range backends {
+		for i := 0; i < vnodes; i++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", b, i)
+			pts = append(pts, ringPoint{hash: mix64(h.Sum64()), backend: b})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].backend < pts[j].backend
+	})
+	return &ring{points: pts}
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection that turns
+// near-collisions from FNV's weak tail mixing into uniform ring positions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// lookup returns the backend owning key: the first point clockwise from the
+// key, skipping backends the filter rejects (nil accepts all). Equal
+// fingerprints resolve to the same backend on every router instance, which is
+// the whole point — the fleet agrees on ownership without coordination.
+func (r *ring) lookup(key uint64, skip func(string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for n := 0; n < len(r.points); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if skip == nil || !skip(p.backend) {
+			return p.backend
+		}
+	}
+	return ""
+}
+
+// lookupFingerprint is lookup keyed by an instance fingerprint.
+func (r *ring) lookupFingerprint(fp core.Fingerprint, skip func(string) bool) string {
+	return r.lookup(fp.Uint64(), skip)
+}

@@ -1,0 +1,97 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+
+	"crsharing/internal/core"
+)
+
+func testBackends(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// TestRingDeterministic: two rings built from the same membership agree on
+// every key — the property that lets any number of router instances route
+// without coordination.
+func TestRingDeterministic(t *testing.T) {
+	backends := testBackends(4)
+	a := buildRing(backends, 64)
+	b := buildRing(backends, 64)
+	for key := uint64(0); key < 10_000; key += 37 {
+		if a.lookup(key, nil) != b.lookup(key, nil) {
+			t.Fatalf("rings from identical membership disagree on key %d", key)
+		}
+	}
+	// Fingerprint keying is the instance identity: permuting processors does
+	// not move the instance to another backend.
+	inst := core.NewInstance([]float64{0.5, 0.25}, []float64{0.75, 0.1})
+	fp := inst.Fingerprint()
+	if a.lookupFingerprint(fp, nil) == "" {
+		t.Fatal("fingerprint lookup returned no backend")
+	}
+}
+
+// TestRingBalancedAndConsistent: virtual nodes spread keys over every
+// backend, and removing one backend only moves the keys it owned — the
+// consistent-hashing contract that keeps the other backends' caches warm
+// through membership changes.
+func TestRingBalancedAndConsistent(t *testing.T) {
+	backends := testBackends(4)
+	full := buildRing(backends, 64)
+
+	const keys = 20_000
+	share := make(map[string]int)
+	owner := make(map[uint64]string, keys)
+	for i := 0; i < keys; i++ {
+		key := uint64(i) * 0x9e3779b97f4a7c15 // golden-ratio scramble: uniform keys
+		b := full.lookup(key, nil)
+		share[b]++
+		owner[key] = b
+	}
+	for _, b := range backends {
+		got := float64(share[b]) / keys
+		if got < 0.10 || got > 0.45 {
+			t.Errorf("backend %s owns %.1f%% of the key space; virtual nodes should keep shares near 25%%", b, got*100)
+		}
+	}
+
+	removed := backends[2]
+	reduced := buildRing(append(append([]string(nil), backends[:2]...), backends[3]), 64)
+	moved := 0
+	for key, was := range owner {
+		now := reduced.lookup(key, nil)
+		if was == removed {
+			if now == removed {
+				t.Fatalf("key %d still routed to the removed backend", key)
+			}
+			continue
+		}
+		if now != was {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys owned by surviving backends moved when another backend left", moved)
+	}
+
+	// The skip filter walks to the next distinct backend, never the skipped
+	// one, and an all-skipping filter yields nothing.
+	for key := uint64(0); key < 5_000; key += 13 {
+		first := full.lookup(key, nil)
+		next := full.lookup(key, func(b string) bool { return b == first })
+		if next == "" || next == first {
+			t.Fatalf("skip filter for key %d returned %q (first owner %q)", key, next, first)
+		}
+	}
+	if got := full.lookup(1, func(string) bool { return true }); got != "" {
+		t.Errorf("all-skipping lookup returned %q, want none", got)
+	}
+	if got := (&ring{}).lookup(1, nil); got != "" {
+		t.Errorf("empty ring returned %q", got)
+	}
+}

@@ -28,6 +28,12 @@ type metrics struct {
 	// shedTotal counts requests answered 429-with-Retry-After because a
 	// tenant quota refused them (solve, fully-shed batch, or job submit).
 	shedTotal atomic.Uint64
+	// Peer cache-fill accounting (see peerfill.go): solves this backend
+	// forwarded to the owning peer, fills this backend served on a peer's
+	// behalf, and forwards that failed and fell back to a local solve.
+	peerFillForwarded atomic.Uint64
+	peerFillServed    atomic.Uint64
+	peerFillErrors    atomic.Uint64
 }
 
 // write renders the request counters, the engine's solve telemetry (sources,
@@ -83,6 +89,9 @@ func (m *metrics) write(w io.Writer, eng *engine.Engine, jm *jobs.Manager, uptim
 	counter("crsharing_batch_cancelled_total", "Batch instances never attempted because the deadline expired.", m.batchCancelled.Load())
 	counter("crsharing_deadline_expired_total", "Solve requests that hit their deadline.", m.deadlineExpired.Load())
 	counter("crsharing_requests_shed_total", "Requests answered 429 with Retry-After because a tenant quota refused them.", m.shedTotal.Load())
+	counter("crsharing_peer_fill_forwarded_total", "Cache-miss solves forwarded to the owning peer backend.", m.peerFillForwarded.Load())
+	counter("crsharing_peer_fill_served_total", "Solves served on behalf of a peer backend (cache fills).", m.peerFillServed.Load())
+	counter("crsharing_peer_fill_errors_total", "Peer forwards that failed and fell back to a local solve.", m.peerFillErrors.Load())
 	gauge("crsharing_uptime_seconds", "Seconds since the server started.", uptime.Seconds())
 
 	snap := eng.Snapshot()

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"crsharing/internal/core"
+)
+
+// solveWithHeaders posts a solve with extra headers and decodes the response.
+func solveWithHeaders(t *testing.T, url string, inst *core.Instance, headers map[string]string) (int, SolveResponse) {
+	t.Helper()
+	raw, err := json.Marshal(SolveRequest{Instance: inst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/solve", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SolveResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &sr); err != nil {
+			t.Fatalf("decoding solve response: %v (%s)", err, data)
+		}
+	}
+	return resp.StatusCode, sr
+}
+
+func metricsText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestPeerFillServedFromOwner is the fleet-as-one-cache contract at the
+// service layer: a solve that misses on the receiving backend but carries the
+// owner header is answered from the OWNER's warm cache — no solver runs on
+// either backend — and the work is attributed once (the owner counts a fill,
+// not a client request).
+func TestPeerFillServedFromOwner(t *testing.T) {
+	stubA := &stubSolver{name: "stub"}
+	stubB := &stubSolver{name: "stub"}
+	_, tsA := newTestServer(t, stubA, nil)
+	_, tsB := newTestServer(t, stubB, nil)
+	inst := core.NewInstance([]float64{0.5, 0.25}, []float64{0.75})
+
+	// Warm the owner: one fresh solve on B.
+	if status, sr := solveWithHeaders(t, tsB.URL, inst, nil); status != http.StatusOK || sr.Source != "solve" {
+		t.Fatalf("warming solve: status=%d source=%q", status, sr.Source)
+	}
+	if got := stubB.calls.Load(); got != 1 {
+		t.Fatalf("owner solver ran %d times warming, want 1", got)
+	}
+
+	// A misses locally, forwards to the owner, and passes B's cached answer
+	// through verbatim. Repeat to prove the fill path never re-solves.
+	for i := 0; i < 2; i++ {
+		status, sr := solveWithHeaders(t, tsA.URL, inst, map[string]string{OwnerHeader: tsB.URL})
+		if status != http.StatusOK {
+			t.Fatalf("fill round %d: status %d", i, status)
+		}
+		if sr.Source != "cache" {
+			t.Fatalf("fill round %d answered from %q, want the owner's cache", i, sr.Source)
+		}
+	}
+	if got := stubA.calls.Load(); got != 0 {
+		t.Fatalf("receiving backend solved %d times despite the owner fill", got)
+	}
+	if got := stubB.calls.Load(); got != 1 {
+		t.Fatalf("owner re-solved (%d calls) on a warm fill", got)
+	}
+
+	// Attribution: A forwarded twice; B served two fills on top of its one
+	// client request.
+	mA, mB := metricsText(t, tsA.URL), metricsText(t, tsB.URL)
+	if !strings.Contains(mA, "crsharing_peer_fill_forwarded_total 2") {
+		t.Error("receiving backend did not count 2 forwarded fills")
+	}
+	if !strings.Contains(mB, "crsharing_peer_fill_served_total 2") {
+		t.Error("owner did not count 2 served fills")
+	}
+	if !strings.Contains(mB, "crsharing_requests_solve_total 1") {
+		t.Error("owner counted fills as client solve requests (double attribution)")
+	}
+
+	// A local cache hit on the receiver never forwards, even with the header.
+	warm := core.NewInstance([]float64{0.4, 0.3})
+	if _, sr := solveWithHeaders(t, tsA.URL, warm, nil); sr.Source != "solve" {
+		t.Fatalf("local warming solve source = %q", sr.Source)
+	}
+	if _, sr := solveWithHeaders(t, tsA.URL, warm, map[string]string{OwnerHeader: tsB.URL}); sr.Source != "cache" {
+		t.Fatalf("locally cached solve with owner header answered from %q, want the local cache", sr.Source)
+	}
+	if strings.Contains(metricsText(t, tsA.URL), "crsharing_peer_fill_forwarded_total 3") {
+		t.Error("a local cache hit was forwarded to the owner")
+	}
+}
+
+// TestPeerFillFallsBackToLocalSolve: a dead or unreachable owner degrades to
+// a cold-cache local solve, never a failed request.
+func TestPeerFillFallsBackToLocalSolve(t *testing.T) {
+	stub := &stubSolver{name: "stub"}
+	_, ts := newTestServer(t, stub, nil)
+	inst := core.NewInstance([]float64{0.6, 0.2})
+
+	status, sr := solveWithHeaders(t, ts.URL, inst, map[string]string{OwnerHeader: "http://127.0.0.1:1"})
+	if status != http.StatusOK {
+		t.Fatalf("solve with unreachable owner: status %d", status)
+	}
+	if sr.Source != "solve" {
+		t.Fatalf("fallback source = %q, want a fresh local solve", sr.Source)
+	}
+	if got := stub.calls.Load(); got != 1 {
+		t.Fatalf("local solver ran %d times, want 1", got)
+	}
+	if !strings.Contains(metricsText(t, ts.URL), "crsharing_peer_fill_errors_total 1") {
+		t.Error("failed forward did not count a peer fill error")
+	}
+}

@@ -84,6 +84,11 @@ type Config struct {
 	// solves that outlast the synchronous deadline. The manager's lifecycle
 	// belongs to the caller: close it after the HTTP listener drains.
 	Jobs *jobs.Manager
+	// PeerClient is the HTTP client used to forward cache-miss solves to the
+	// owning peer backend in a routed fleet (see OwnerHeader); default
+	// http.DefaultClient. The forward runs under the original request's
+	// context, so it never outlives the client.
+	PeerClient *http.Client
 	// APIKeys maps API keys (sent as "Authorization: Bearer <key>" or in the
 	// X-API-Key header) to tenant names. Requests may also name their tenant
 	// directly with the X-Tenant header; with neither they run as the default
@@ -205,7 +210,15 @@ func requestTimeout(raw string) (time.Duration, error) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	s.metrics.requestsSolve.Add(1)
+	// A peer cache fill is a solve a sibling backend forwarded because this
+	// process owns the fingerprint; count it as fill work, not as a client
+	// request, so the forwarded solve is attributed once across the fleet.
+	isFill := r.Header.Get(FillHeader) != ""
+	if isFill {
+		s.metrics.peerFillServed.Add(1)
+	} else {
+		s.metrics.requestsSolve.Add(1)
+	}
 	tenant, status, terr := s.tenantFor(r)
 	if terr != nil {
 		s.fail(w, status, terr)
@@ -232,6 +245,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
+	}
+
+	// The router says another backend owns this fingerprint: on a local cache
+	// miss, fetch the result from the owner's warm cache instead of
+	// re-solving. Contains has no stat or LRU side effects, so a local hit
+	// still books exactly one cache hit when the engine serves it below.
+	if owner := r.Header.Get(OwnerHeader); owner != "" && !isFill {
+		if cache := s.eng.Cache(); cache != nil && !cache.Contains(name, req.Instance.Fingerprint()) {
+			if s.forwardFill(w, r, owner, tenant, &req) {
+				return
+			}
+		}
 	}
 
 	res, err := s.eng.Solve(r.Context(), engine.Request{

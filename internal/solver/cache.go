@@ -309,6 +309,19 @@ func remapEvaluation(stored, req *core.Instance, ev *Evaluation) *Evaluation {
 	return &out
 }
 
+// Contains reports whether the cache currently holds a positive evaluation
+// for the pair, without touching the LRU order or the hit counters. It is
+// the peek the peer-fill path uses to decide whether a solve should be
+// forwarded to the fingerprint's owning backend instead of run locally.
+func (c *Cache) Contains(solverName string, fp core.Fingerprint) bool {
+	key := CacheKey{Solver: solverName, Fingerprint: fp}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	_, ok := sh.entries[key]
+	sh.mu.Unlock()
+	return ok
+}
+
 // Lookup returns the cached evaluation for the pair, if any, without ever
 // solving. It still refreshes the entry's LRU position, counts hits, and
 // remaps the schedule to inst's processor order like Evaluate does.

@@ -185,7 +185,12 @@ func (p *Persister) Flush() error {
 	return firstErr
 }
 
-// writeShard writes one shard file atomically (temp file + rename).
+// writeShard writes one shard file atomically AND durably: the temp file is
+// fsynced before the rename (so a crash right after the rename can never
+// expose a zero-length or partial snapshot) and the directory is fsynced
+// after it (so the rename itself survives a crash). os.CreateTemp creates
+// 0600 files; the snapshot is chmodded to 0644 so operators and sidecar
+// tooling can read it.
 func (p *Persister) writeShard(i int, recs []persistRecord) error {
 	data, err := json.Marshal(shardFile{Version: persistVersion, Entries: recs})
 	if err != nil {
@@ -197,16 +202,36 @@ func (p *Persister) writeShard(i int, recs []persistRecord) error {
 		return fmt.Errorf("solver: writing cache shard %d: %w", i, err)
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if werr == nil {
+		werr = tmp.Chmod(0o644)
+	}
 	cerr := tmp.Close()
 	if werr == nil && cerr == nil {
 		if err := os.Rename(tmp.Name(), final); err == nil {
-			return nil
+			return syncDir(p.dir)
 		} else {
 			werr = err
 		}
 	}
 	os.Remove(tmp.Name())
 	return fmt.Errorf("solver: writing cache shard %d: %w", i, firstError(werr, cerr))
+}
+
+// syncDir fsyncs a directory so a just-completed rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("solver: syncing snapshot directory: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if err := firstError(serr, cerr); err != nil {
+		return fmt.Errorf("solver: syncing snapshot directory: %w", err)
+	}
+	return nil
 }
 
 // Close stops the flush loop (if started) and writes a final snapshot.
@@ -267,7 +292,8 @@ func (c *Cache) seed(solverName string, inst *core.Instance, ev *Evaluation) {
 }
 
 // SnapshotFiles lists the snapshot file names currently in dir (sorted);
-// exposed for tests and operational tooling.
+// exposed for tests and operational tooling. Quarantined *.corrupt files and
+// in-flight temp files are not snapshots and are filtered out.
 func (p *Persister) SnapshotFiles() ([]string, error) {
 	entries, err := os.ReadDir(p.dir)
 	if err != nil {
@@ -275,7 +301,7 @@ func (p *Persister) SnapshotFiles() ([]string, error) {
 	}
 	var out []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "shard-") && strings.HasSuffix(e.Name(), ".json") {
 			out = append(out, e.Name())
 		}
 	}

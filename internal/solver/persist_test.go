@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -171,6 +172,68 @@ func TestPersistQuarantinesCorruptFiles(t *testing.T) {
 	}
 	if got := cold.Stats().Entries; got+rep.Restored == 0 || rep.Restored != got {
 		t.Fatalf("healthy shards not restored: report=%+v entries=%d", rep, got)
+	}
+}
+
+// TestPersistSnapshotDurabilityAndListing pins the crash-durability fixes:
+// snapshots land world-readable (0644, not os.CreateTemp's 0600), no temp
+// files survive a flush, and SnapshotFiles lists only real snapshots —
+// quarantined *.corrupt files are not snapshots and must not appear.
+func TestPersistSnapshotDurabilityAndListing(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(2, 64)
+	s := &stubSolver{name: "stub"}
+	for _, inst := range persistInstances(4) {
+		if _, _, err := c.Evaluate(context.Background(), s, inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := NewPersister(c, dir, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no shard files written: %v", err)
+	}
+	for _, f := range files {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := info.Mode().Perm(); got != 0o644 {
+			t.Fatalf("%s mode = %o, want 644 (snapshots must not inherit CreateTemp's 0600)", f, got)
+		}
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "shard-tmp-*")); len(tmps) != 0 {
+		t.Fatalf("temp files survived the flush: %v", tmps)
+	}
+
+	// Plant a quarantined file and a leftover temp: only *.json snapshots list.
+	if err := os.WriteFile(filepath.Join(dir, "shard-000.json.corrupt"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "shard-tmp-stray"), []byte("junk"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	listed, err := p.SnapshotFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range listed {
+		if !strings.HasSuffix(name, ".json") {
+			t.Fatalf("SnapshotFiles listed %q, which is not a snapshot", name)
+		}
+	}
+	if want := len(files); len(listed) != want {
+		t.Fatalf("SnapshotFiles listed %d files (%v), want the %d real snapshots", len(listed), listed, want)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
