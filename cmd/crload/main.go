@@ -71,7 +71,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus seed; the same seed replays the byte-identical workload")
 	duration := flag.Duration("duration", 2*time.Second, "how long to generate arrivals")
 	rate := flag.Float64("rate", 200, "open-loop arrival rate in requests per second")
-	mixSpec := flag.String("mix", "", "traffic mix, e.g. solve=8,batch=1,jobs=1 (default)")
+	mixSpec := flag.String("mix", "", "traffic mix, e.g. solve=8,batch=1,jobs=1 (default); an online=N class replays seeded mutation chains that exercise warm starts")
 	solverName := flag.String("solver", "", "solver to request; empty uses the server default")
 	solveTimeout := flag.Duration("solve-timeout", 2*time.Second, "deadline sent with sync and batch solves (the portfolio returns its best-effort result at the deadline)")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Second, "solve budget sent with async job submissions")
@@ -89,6 +89,9 @@ func main() {
 	replaySpeed := flag.Float64("replay-speed", 1, "compress (>1) or stretch (<1) the replayed arrival schedule; the request sequence is unchanged")
 	mergeSpec := flag.String("merge", "", "comma-separated report JSON files to pool into one fleet report (no load is driven)")
 	sloPath := flag.String("slo", "", "declarative SLO spec (JSON); violations exit with code 4")
+	speculate := flag.Bool("speculate", false, "enable speculative pre-solving of hot fingerprint families on the in-process server")
+	speculateBudget := flag.Int("speculate-budget", 0, "variants pre-solved per hot instance on the in-process server; 0 uses the engine default")
+	minWarmStarts := flag.Int("min-warm-starts", 0, "fail unless at least this many fresh solves were warm-started")
 	flag.Parse()
 
 	var slo *harness.SLO
@@ -180,7 +183,12 @@ func main() {
 		// behind an httptest listener. The driver deliberately saturates the
 		// server; the stack's generous default admission budget keeps
 		// queueing delay out of the measured latencies.
-		scfg := harness.StackConfig{Version: "crload", CacheDir: *cacheDir}
+		scfg := harness.StackConfig{
+			Version:         "crload",
+			CacheDir:        *cacheDir,
+			Speculate:       *speculate,
+			SpeculateBudget: *speculateBudget,
+		}
 		if len(tenantLoads) > 0 {
 			scfg.Tenants = make(map[string]engine.TenantConfig, len(tenantLoads))
 			for _, tl := range tenantLoads {
@@ -242,6 +250,10 @@ func main() {
 	}
 	if hits := int(report.Cache.CacheServed); hits < *minCacheHits {
 		fmt.Fprintf(os.Stderr, "crload: FAIL: %d cache-served responses, need at least %d\n", hits, *minCacheHits)
+		code = exitViolation
+	}
+	if report.WarmStarted < *minWarmStarts {
+		fmt.Fprintf(os.Stderr, "crload: FAIL: %d warm-started solves, need at least %d\n", report.WarmStarted, *minWarmStarts)
 		code = exitViolation
 	}
 	if *minTenantRequests > 0 {

@@ -125,6 +125,17 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, inst *core.Instance) (*
 		// in the instance rather than a budget problem.
 		return nil, fmt.Errorf("anytime: could not build a feasible seed schedule")
 	}
+	// A warm-start hint competes right after the seed. offer re-executes it
+	// against this instance, so an infeasible or stale hint is simply
+	// rejected; a valid one that beats the greedy seed becomes the incumbent
+	// (the anytime tier is heuristic — returning the hint itself is fine).
+	// The hint is cloned because later candidates may be installed over it
+	// and hints are shared across portfolio members.
+	if h := progress.WarmStartFrom(ctx); h != nil && h.Schedule != nil {
+		if offer(h.Schedule.Clone(), nil) {
+			progress.SetWarmSeed(ctx, int64(best.makespan))
+		}
+	}
 	if best.makespan <= lb {
 		return finish()
 	}

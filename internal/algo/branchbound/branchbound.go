@@ -57,6 +57,75 @@ type solver struct {
 	maxNodes  int
 }
 
+// acceptWarmStart resolves the warm-start hint attached to ctx: when the hint
+// validates against inst and its executed makespan strictly beats the greedy
+// seed, a non-wasting projection of the hint and its makespan are returned
+// and the caller installs them as the initial incumbent — exactly the role
+// the greedy schedule plays on a cold solve, just with a tighter bound from
+// step one. A warm start therefore never changes the optimal makespan or the
+// (zero) waste the search returns; it can only change *which* optimal
+// schedule comes back, in the one case where the hint already ties the
+// optimum and no strictly better completion exists to replace it. Hints are
+// untrusted: their makespan is derived by executing them against inst, never
+// taken from the caller, and anything infeasible, unfinished, built for a
+// different instance, or no better than the greedy seed is dropped — the
+// solve then proceeds cold, byte-for-byte identical to a run with no hint at
+// all.
+func acceptWarmStart(ctx context.Context, inst *core.Instance, greedyMakespan int) (*core.Schedule, int) {
+	h := progress.WarmStartFrom(ctx)
+	if h == nil || h.Schedule == nil {
+		return nil, 0
+	}
+	res, err := core.Execute(inst, h.Schedule)
+	if err != nil || !res.Finished() {
+		return nil, 0
+	}
+	hm := res.Makespan()
+	if hm >= greedyMakespan {
+		return nil, 0
+	}
+	repaired := nonWasting(inst, h.Schedule, res)
+	if check, err := core.Execute(inst, repaired); err != nil || !check.Finished() || check.Makespan() != hm {
+		return nil, 0
+	}
+	progress.SetWarmSeed(ctx, int64(hm))
+	return repaired, hm
+}
+
+// nonWasting projects a validated hint onto the kernel's non-wasting move
+// space: every share is capped at the progress it actually buys (the active
+// job's requirement and its remaining work), and shares on idle processors
+// or zero-requirement jobs are dropped. The projection never changes any
+// job's progress, so completions and makespan are preserved — but the
+// installed incumbent now carries zero waste, exactly like every schedule
+// the search itself enumerates, and the warm solve's result metrics match a
+// cold solve's whichever of the two ends up returned.
+func nonWasting(inst *core.Instance, hint *core.Schedule, res *core.Result) *core.Schedule {
+	m := inst.NumProcessors()
+	out := core.NewSchedule(res.Makespan(), m)
+	for t := 0; t < res.Makespan(); t++ {
+		for i := 0; i < m; i++ {
+			j, ok := res.ActiveJob(t, i)
+			if !ok {
+				continue
+			}
+			req := inst.Job(i, j).Req
+			if req <= numeric.Eps {
+				continue
+			}
+			share := hint.Share(t, i)
+			if share > req {
+				share = req
+			}
+			if rw := res.RemainingWork(t, i); share > rw {
+				share = rw
+			}
+			out.Alloc[t][i] = share
+		}
+	}
+	return out
+}
+
 // ctxCheckMask controls how often the search polls the context: every
 // ctxCheckMask+1 explored nodes. It must be a power of two minus one.
 const ctxCheckMask = 255
@@ -110,8 +179,14 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, inst *core.Instance) (*
 		sv.maxNodes = DefaultMaxNodes
 	}
 	sv.bestMoves = allocRows(gbSched)
-	// The greedy seed is the first incumbent: report it so observers see a
-	// feasible bound even before the search improves on it.
+	if hint, hm := acceptWarmStart(ctx, inst, sv.best); hint != nil {
+		// The hint replaces the greedy seed as the initial incumbent.
+		sv.best = hm
+		sv.bestMoves = allocRows(hint)
+	}
+	// The seed — greedy, or the warm-start hint when one was accepted — is the
+	// first incumbent: report it so observers see a feasible bound even before
+	// the search improves on it.
 	progress.Report(ctx, progress.Incumbent{Solver: s.Name(), Makespan: sv.best})
 
 	err = sv.search(sc.rootDone, sc.rootRem, 0)
@@ -222,8 +297,11 @@ func (sv *solver) search(done []int, rem []float64, depth int) error {
 		}
 		return nil
 	}
-	if depth+lowerBound(sv.inst, sv.suffix, done, rem) >= sv.best {
-		return nil // cannot improve on the incumbent
+	if b := depth + lowerBound(sv.inst, sv.suffix, done, rem); b >= sv.best {
+		// Classic incumbent cut. A warm start needs no clause of its own: an
+		// accepted hint was installed as the initial incumbent, so its bound
+		// prunes here from the very first node.
+		return nil
 	}
 	if sv.sc.visited.visit(sv.sc.stateKey(done, rem), depth, &sv.sc.allocs) {
 		return nil // reached the same state (up to symmetry) at least as early before

@@ -121,9 +121,16 @@ func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Inst
 		sh.maxNodes = DefaultMaxNodes
 	}
 	sh.best.Store(int64(gbRes.Makespan()))
-	// The greedy seed is the first incumbent: report it so observers see a
-	// feasible bound even before the search improves on it.
-	progress.Report(ctx, progress.Incumbent{Solver: s.Name(), Makespan: gbRes.Makespan()})
+	if hint, hm := acceptWarmStart(ctx, inst, gbRes.Makespan()); hint != nil {
+		// As in the serial solver, an accepted hint replaces the greedy seed
+		// as the initial incumbent.
+		sh.best.Store(int64(hm))
+		sh.bestMoves = allocRows(hint)
+	}
+	// The seed — greedy, or the warm-start hint when one was accepted — is the
+	// first incumbent: report it so observers see a feasible bound even before
+	// the search improves on it.
+	progress.Report(ctx, progress.Incumbent{Solver: s.Name(), Makespan: int(sh.best.Load())})
 
 	// Seed the frontier breadth-first until there is enough fan-out to keep
 	// the pool busy. Small instances may be solved entirely during seeding;
@@ -143,7 +150,7 @@ func (s *ParallelScheduler) ScheduleContext(ctx context.Context, inst *core.Inst
 			sh.offerSolution(ctx, t.depth, t.moves)
 			continue
 		}
-		if int64(t.depth+lowerBound(inst, sh.suffix, t.done, t.rem)) >= sh.best.Load() {
+		if b := t.depth + lowerBound(inst, sh.suffix, t.done, t.rem); int64(b) >= sh.best.Load() {
 			continue
 		}
 		buf := seedSc.level(0)
@@ -310,7 +317,10 @@ func (sh *shared) dfs(ctx context.Context, sc *searchScratch, done []int, rem []
 		sh.offerSolution(ctx, depth, sc.path[:depth])
 		return nil
 	}
-	if int64(depth+lowerBound(sh.inst, sh.suffix, done, rem)) >= sh.best.Load() {
+	if b := depth + lowerBound(sh.inst, sh.suffix, done, rem); int64(b) >= sh.best.Load() {
+		// Incumbent cut; an accepted warm start was installed as the initial
+		// incumbent, so its bound is already part of best (see the serial
+		// solver).
 		return nil
 	}
 	if sc.visited.visit(sc.stateKey(done, rem), depth, &sc.allocs) {

@@ -1,0 +1,71 @@
+package branchbound_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"crsharing/internal/algo/branchbound"
+	"crsharing/internal/core"
+	"crsharing/internal/gen"
+	"crsharing/internal/solver"
+)
+
+// FuzzWarmStartHintSafety throws arbitrary hints at the exact kernel —
+// garbage shares, stale schedules from mutated instances, truncations, the
+// optimum itself — and checks the whole warm-start contract: the solve never
+// panics, never errors, and always returns the cold solve's makespan and
+// waste. A rejected hint must leave the schedule byte-identical to cold.
+func FuzzWarmStartHintSafety(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0))
+	f.Add(int64(20140623), uint8(1), uint8(3))
+	f.Add(int64(42), uint8(2), uint8(7))
+	f.Add(int64(-99), uint8(3), uint8(1))
+	f.Add(int64(7), uint8(4), uint8(5))
+
+	f.Fuzz(func(t *testing.T, seed int64, kindRaw, sizeRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + int(sizeRaw)%2      // 2..3 processors
+		jobs := 1 + int(sizeRaw/2)%3 // 1..3 jobs per processor
+		inst := gen.Random(rng, m, jobs, 0.05, 1.0)
+
+		cold, _, _ := solveCounted(t, branchbound.New(), inst, nil)
+
+		var hint *core.Schedule
+		switch kindRaw % 5 {
+		case 0: // garbage: random shape, random (possibly over-unit) shares
+			hint = core.NewSchedule(int(sizeRaw)%5, m)
+			for ti := range hint.Alloc {
+				for i := range hint.Alloc[ti] {
+					hint.Alloc[ti][i] = rng.Float64() * 1.5
+				}
+			}
+		case 1: // stale: solved for a mutated sibling of inst
+			mutant := gen.Mutate(rng, inst, gen.Mutations[int(sizeRaw)%len(gen.Mutations)])
+			hint = solveHelper(t, mutant)
+		case 2: // truncated optimum: cannot finish
+			if cold.Steps() > 1 {
+				hint = core.NewSchedule(cold.Steps()-1, m)
+				for ti := range hint.Alloc {
+					copy(hint.Alloc[ti], cold.Alloc[ti])
+				}
+			} else {
+				hint = core.NewSchedule(0, m)
+			}
+		case 3: // the optimum itself
+			hint = cold
+		case 4: // adapted stale hint, as the serving layer produces
+			mutant := gen.Mutate(rng, inst, gen.Mutations[int(sizeRaw)%len(gen.Mutations)])
+			adapted, ok := solver.AdaptSchedule(inst, solveHelper(t, mutant))
+			if !ok {
+				t.Skip() // nothing to adapt; covered by the other kinds
+			}
+			hint = adapted
+		}
+
+		warm, _, warmSeed := solveCounted(t, branchbound.New(), inst, hint)
+		sameResult(t, inst, cold, warm)
+		if warmSeed == 0 && !sameSchedule(cold, warm) {
+			t.Fatalf("rejected hint changed the schedule (kind %d)\n%v", kindRaw%5, inst)
+		}
+	})
+}

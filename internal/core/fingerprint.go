@@ -95,7 +95,20 @@ func RemapScheduleProcs(from, to *Instance, sched *Schedule) *Schedule {
 // processor is part of the problem), the per-processor blobs are sorted
 // byte-wise to normalize processor order, and the sorted, length-framed
 // concatenation is hashed with SHA-256.
+//
+// The result is memoised on the instance (instances are immutable once
+// built), so repeated calls — cache key, response field, batch shards,
+// routing — hash once.
 func (in *Instance) Fingerprint() Fingerprint {
+	if f := in.fp.Load(); f != nil {
+		return *f
+	}
+	f := in.fingerprint()
+	in.fp.Store(&f)
+	return f
+}
+
+func (in *Instance) fingerprint() Fingerprint {
 	blobs := in.procBlobs()
 	sort.Strings(blobs)
 

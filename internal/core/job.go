@@ -93,6 +93,11 @@ type Instance struct {
 	// the O(total jobs) sweep runs once. The atomic pointer keeps concurrent
 	// first calls safe (they may both compute, the stores are idempotent).
 	bounds atomic.Pointer[Bounds]
+
+	// fp memoises Fingerprint the same way: the serving layer hashes every
+	// request once for the memo cache, again for the response, and once per
+	// batch shard, all over the same immutable instance.
+	fp atomic.Pointer[Fingerprint]
 }
 
 // NewInstance builds an instance from per-processor requirement sequences of
@@ -270,5 +275,6 @@ func (in *Instance) UnmarshalJSON(data []byte) error {
 	}
 	in.Procs = w.Procs
 	in.bounds.Store(nil) // decoding replaces the jobs; drop any stale memo
+	in.fp.Store(nil)
 	return in.Validate()
 }

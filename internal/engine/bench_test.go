@@ -86,6 +86,35 @@ func BenchmarkEngineSolveCacheHitPrehashed(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSolveEachCacheHitPrehashed is the batch replay counterpart
+// of BenchmarkEngineSolveCacheHitPrehashed: every instance's fingerprint is
+// computed once at the batch split (SolveEach hashes before submitting, and
+// the memoised fingerprint makes later calls free), so the per-shard cache
+// route never re-hashes.
+func BenchmarkEngineSolveEachCacheHitPrehashed(b *testing.B) {
+	eng := benchEngine(b, solver.NewCache(4, 256))
+	insts := make([]*core.Instance, 16)
+	for i := range insts {
+		insts[i] = core.NewInstance([]float64{float64(i+1) / 20, 0.5}, []float64{0.25})
+		insts[i].Fingerprint() // memoise, as the batch split does
+	}
+	ctx := context.Background()
+	eng.SolveEach(ctx, "", "", insts, 8) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outcomes := eng.SolveEach(ctx, "", "", insts, 8)
+		for _, out := range outcomes {
+			if out.Err != nil {
+				b.Fatal(out.Err)
+			}
+			if out.Result.Source == solver.SourceSolve {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	}
+}
+
 // BenchmarkAdmissionUncontended measures one uncontended acquire/release
 // pair of the fair scheduler — the cost every fresh solve pays even when the
 // system is idle, gated by benchdiff in CI.

@@ -88,15 +88,25 @@ type Config struct {
 	// ShedRetryAfter is the back-off hint carried by ErrShed rejections
 	// (default 1s).
 	ShedRetryAfter time.Duration
+	// Speculate enables the speculation controller: the engine watches
+	// per-fingerprint request frequency and pre-solves single-mutation
+	// variants of hot instances into the memo cache, under the dedicated
+	// low-weight SpeculationTenant so speculation can never starve real
+	// traffic through the fair scheduler. Requires Cache.
+	Speculate bool
+	// SpeculateBudget caps how many variants are pre-solved per hot
+	// instance (default 8).
+	SpeculateBudget int
 }
 
 // Engine routes every solve of the process. Create one with New and share it
 // between the serving layer, the job manager and any other solve surface; it
 // is safe for concurrent use.
 type Engine struct {
-	cfg Config
-	sem *fairScheduler
-	met *metrics
+	cfg  Config
+	sem  *fairScheduler
+	met  *metrics
+	spec *speculator // nil unless Config.Speculate
 }
 
 // New validates the configuration, applies defaults and returns an Engine.
@@ -122,11 +132,41 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.ShedRetryAfter <= 0 {
 		cfg.ShedRetryAfter = time.Second
 	}
-	return &Engine{
+	if cfg.Speculate {
+		if cfg.Cache == nil {
+			return nil, errors.New("engine: Config.Speculate requires Config.Cache")
+		}
+		if _, ok := cfg.Tenants[SpeculationTenant]; !ok {
+			// Register the speculation tenant without mutating the caller's
+			// map: minimal weight and inflight, deep best-effort priority, so
+			// the fair scheduler both serves it strictly last and sheds it
+			// whenever real traffic has the capacity covered.
+			tenants := make(map[string]TenantConfig, len(cfg.Tenants)+1)
+			for name, tc := range cfg.Tenants {
+				tenants[name] = tc
+			}
+			tenants[SpeculationTenant] = TenantConfig{Weight: 1, MaxInflight: 1, MaxQueued: 2, Priority: 9}
+			cfg.Tenants = tenants
+		}
+	}
+	e := &Engine{
 		cfg: cfg,
 		sem: newFairScheduler(int64(cfg.MaxConcurrent), cfg.TenantDefaults, cfg.Tenants, cfg.ShedRetryAfter),
 		met: newMetrics(),
-	}, nil
+	}
+	if cfg.Speculate {
+		e.spec = newSpeculator(e, cfg.SpeculateBudget)
+	}
+	return e, nil
+}
+
+// Close stops the engine's background work (the speculation controller).
+// In-flight solves are unaffected; call it after the serving surfaces have
+// drained. A nil-op when speculation is off.
+func (e *Engine) Close() {
+	if e.spec != nil {
+		e.spec.close()
+	}
 }
 
 // Registry returns the engine's solver registry.
@@ -197,6 +237,14 @@ type Request struct {
 	// Observer, when non-nil, receives improving incumbents while the solve
 	// runs. Cache and coalesced answers produce no observations.
 	Observer progress.Func
+	// WarmStart, when non-nil, is a caller-supplied warm-start hint: a
+	// schedule believed feasible for Instance (typically the solution of a
+	// near-identical instance the caller solved earlier). The kernels
+	// validate it and use it only to tighten their pruning bound, so a bad
+	// hint costs nothing and a good one skips most of the search; the answer
+	// is identical either way. When absent, the engine consults the cache's
+	// neighbor index for a hint on a miss.
+	WarmStart *core.Schedule
 	// Weight is the admission weight (default 1). Heavier requests may be
 	// given a larger share of the MaxConcurrent budget.
 	Weight int64
@@ -264,6 +312,13 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*Result, error) {
 		tenant = DefaultTenant
 	}
 	adm := &admitted{eng: e, inner: sv, weight: req.Weight, tenant: tenant}
+	if req.WarmStart != nil {
+		// An explicit hint travels as a context value so it survives the
+		// cache's singleflight indirection and the solver adapters' counter
+		// shadowing; it also preempts the neighbor-index lookup below.
+		ctx = progress.WithWarmStart(ctx, &progress.WarmStart{Schedule: req.WarmStart, Source: WarmSourceRequest})
+		adm.hintSource = WarmSourceRequest
+	}
 	var (
 		ev  *solver.Evaluation
 		src solver.Source
@@ -278,8 +333,22 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.spec != nil && tenant != SpeculationTenant {
+		e.spec.observe(name, req.Instance)
+	}
 	tel := newTelemetry(name, ev, src, req.Instance, adm.queued)
 	tel.Tenant = tenant
+	if src == solver.SourceSolve && ev.Stats.WarmStart {
+		// Warm-start telemetry describes this request's own solve; cache and
+		// coalesced answers replay another request's stats, so they do not
+		// claim its warm start.
+		tel.WarmStart = adm.hintSource
+		if tel.WarmStart == "" {
+			tel.WarmStart = WarmSourceRequest
+		}
+		tel.SeedMakespan = ev.Stats.SeedMakespan
+		e.met.warmStarts.Add(1)
+	}
 	return &Result{
 		Evaluation:  ev,
 		Source:      src,
@@ -304,7 +373,18 @@ type admitted struct {
 	// cache invokes Solve at most once per request, so the field is not
 	// synchronised.
 	queued time.Duration
+	// hintSource records where this request's warm-start hint came from
+	// ("request" when the caller supplied one, "neighbor" when the cache's
+	// neighbor index produced one on the miss path); empty when no hint was
+	// attached. Written before/inside the single Solve call, read after.
+	hintSource string
 }
+
+// Warm-start hint sources, reported in Telemetry.WarmStart.
+const (
+	WarmSourceRequest  = "request"
+	WarmSourceNeighbor = "neighbor"
+)
 
 func (a *admitted) Name() string { return a.inner.Name() }
 
@@ -316,6 +396,17 @@ func (a *admitted) Solve(ctx context.Context, inst *core.Instance) (*core.Schedu
 	}
 	a.queued = time.Since(start)
 	defer a.eng.sem.Release(a.tenant, a.weight)
+	// This point is reached only by a true miss that won admission (cache
+	// hits and coalesced followers never get here), which is exactly where a
+	// neighbor hint pays: ask the cache's shape index for an adapted
+	// schedule of a near-duplicate solved earlier. A request-supplied hint
+	// takes precedence.
+	if a.hintSource == "" && a.eng.cfg.Cache != nil {
+		if hint, ok := a.eng.cfg.Cache.WarmHint(a.inner.Name(), inst); ok {
+			ctx = progress.WithWarmStart(ctx, &progress.WarmStart{Schedule: hint, Source: WarmSourceNeighbor})
+			a.hintSource = WarmSourceNeighbor
+		}
+	}
 	return a.inner.Solve(ctx, inst)
 }
 
@@ -386,7 +477,10 @@ func (e *Engine) solveOne(ctx context.Context, tenant, solverName string, idx in
 	if err := ctx.Err(); err != nil {
 		return Outcome{Index: idx, Err: err, Skipped: true}
 	}
-	res, err := e.Solve(ctx, Request{Solver: solverName, Instance: inst, Timeout: NoDeadline, Tenant: tenant})
+	// Hash at the batch split and hand the fingerprint down, so the cache
+	// route (and the response field) reuse it instead of re-hashing.
+	fp := inst.Fingerprint()
+	res, err := e.Solve(ctx, Request{Solver: solverName, Instance: inst, Fingerprint: &fp, Timeout: NoDeadline, Tenant: tenant})
 	if err != nil {
 		return Outcome{Index: idx, Err: err}
 	}

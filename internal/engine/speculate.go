@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crsharing/internal/core"
+	"crsharing/internal/gen"
+)
+
+// SpeculationTenant is the tenant every speculative pre-solve is admitted
+// under. It is registered with weight 1, an inflight quota of 1 and a
+// deep-best-effort priority, so the existing fair scheduler is the whole
+// safety story: speculation gets at most one admission slot, is served
+// strictly after every real-traffic class, and is shed outright ("priority
+// backlog") whenever the backlog of more important work already covers the
+// global capacity. Speculation can slow nothing down but an idle machine.
+const SpeculationTenant = "speculation"
+
+const (
+	// speculateHotThreshold is how many requests a (solver, fingerprint)
+	// family must receive before its variants are pre-solved.
+	speculateHotThreshold = 3
+	// speculateQueueDepth bounds the controller's backlog of hot instances;
+	// overflow is dropped (a missed speculation costs nothing).
+	speculateQueueDepth = 64
+	// speculateTimeout bounds each speculative solve: a variant that cannot
+	// be solved quickly is not worth pre-solving.
+	speculateTimeout = 2 * time.Second
+	// speculateMaxFamilies bounds the hit-tracking map; when full it is
+	// reset, which merely restarts the hotness count.
+	speculateMaxFamilies = 4096
+	// defaultSpeculateBudget is the per-hot-instance variant cap when
+	// Config.SpeculateBudget is unset.
+	defaultSpeculateBudget = 8
+)
+
+type specKey struct {
+	solver string
+	fp     core.Fingerprint
+}
+
+type specTask struct {
+	solver string
+	inst   *core.Instance
+}
+
+// speculator watches per-fingerprint request frequency and pre-solves
+// single-mutation variants (gen.Variants: adjacent transpositions within a
+// queue, drop-first, append — the same operators the online workload
+// mutates with) of hot instances into the memo cache, where the next real
+// request finds them as exact hits, or at worst as neighbor-index
+// warm-start hints.
+type speculator struct {
+	eng    *Engine
+	budget int
+
+	mu   sync.Mutex
+	hits map[specKey]int // requests seen per family; -1 once speculated
+
+	queue chan specTask
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	issued  atomic.Uint64 // speculative solves submitted
+	dropped atomic.Uint64 // hot families dropped on a full backlog
+}
+
+func newSpeculator(eng *Engine, budget int) *speculator {
+	if budget <= 0 {
+		budget = defaultSpeculateBudget
+	}
+	s := &speculator{
+		eng:    eng,
+		budget: budget,
+		hits:   make(map[specKey]int),
+		queue:  make(chan specTask, speculateQueueDepth),
+		stop:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// observe accounts one real (non-speculation) request against its family
+// and enqueues the instance for variant pre-solving when it crosses the
+// hotness threshold. It is called on the engine's request path, so the
+// fast case is one map lookup under a mutex; the fingerprint is memoised
+// on the instance.
+func (s *speculator) observe(solverName string, inst *core.Instance) {
+	k := specKey{solver: solverName, fp: inst.Fingerprint()}
+	s.mu.Lock()
+	n, ok := s.hits[k]
+	if n < 0 {
+		s.mu.Unlock()
+		return // family already speculated
+	}
+	if !ok && len(s.hits) >= speculateMaxFamilies {
+		s.hits = make(map[specKey]int)
+	}
+	n++
+	if n < speculateHotThreshold {
+		s.hits[k] = n
+		s.mu.Unlock()
+		return
+	}
+	s.hits[k] = -1
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- specTask{solver: solverName, inst: inst}:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// run is the controller loop: one hot instance at a time, one variant solve
+// at a time. Concurrency is deliberately 1 — the fair scheduler would bound
+// the speculation tenant anyway, but a serial loop also keeps the
+// controller's queueing pressure (and its shed noise) minimal.
+func (s *speculator) run() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case task := <-s.queue:
+			s.presolve(task)
+		}
+	}
+}
+
+func (s *speculator) presolve(task specTask) {
+	for _, v := range gen.Variants(task.inst, s.budget) {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if s.eng.cfg.Cache.Contains(task.solver, v.Fingerprint()) {
+			continue // the variant is already warm
+		}
+		s.issued.Add(1)
+		ctx, cancel := context.WithTimeout(context.Background(), speculateTimeout)
+		// Errors are expected and fine: sheds mean real traffic owns the
+		// machine, timeouts mean the variant is too hard to be worth
+		// pre-solving. Successful solves land in the memo cache (and the
+		// neighbor index) through the ordinary pipeline.
+		_, _ = s.eng.Solve(ctx, Request{
+			Solver:   task.solver,
+			Instance: v,
+			Timeout:  NoDeadline,
+			Tenant:   SpeculationTenant,
+		})
+		cancel()
+	}
+}
+
+func (s *speculator) close() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// SpeculationStats is the controller's own accounting, reported in Snapshot.
+type SpeculationStats struct {
+	// Issued counts speculative solves submitted to the engine (whatever
+	// their outcome); Dropped counts hot families discarded because the
+	// controller's backlog was full.
+	Issued  uint64
+	Dropped uint64
+}

@@ -69,6 +69,12 @@ type Telemetry struct {
 	Wasted float64 `json:"wasted"`
 	// Properties lists the Section-4 structural properties of the schedule.
 	Properties string `json:"properties"`
+	// WarmStart names the source of the warm-start hint this request's solve
+	// accepted ("request" or "neighbor"); empty when the solve ran cold or
+	// the answer was replayed from the cache. SeedMakespan is the validated
+	// makespan of the accepted hint.
+	WarmStart    string `json:"warm_start,omitempty"`
+	SeedMakespan int    `json:"seed_makespan,omitempty"`
 }
 
 // newTelemetry assembles the telemetry of one finished solve.
@@ -175,6 +181,7 @@ type metrics struct {
 	sourceNegative  atomic.Uint64
 	errorsTotal     atomic.Uint64
 	shedTotal       atomic.Uint64
+	warmStarts      atomic.Uint64
 	nodesTotal      atomic.Int64
 	incumbentsTotal atomic.Int64
 	queueSeconds    atomicFloat
@@ -236,6 +243,9 @@ type Snapshot struct {
 	Errors uint64
 	// Shed counts requests refused over quota with ErrShed.
 	Shed uint64
+	// WarmStarts counts fresh solves that accepted a warm-start hint
+	// (request-supplied or neighbor-index).
+	WarmStarts uint64
 	// NodesTotal / IncumbentsTotal sum the per-solve search telemetry of
 	// fresh solves (cache replays are not double-counted).
 	NodesTotal      int64
@@ -252,6 +262,9 @@ type Snapshot struct {
 	SolveNodes   Histogram
 	// Tenants is the per-tenant accounting, keyed by tenant name.
 	Tenants map[string]TenantSnapshot
+	// Speculation is the speculation controller's accounting (zero when
+	// speculation is off).
+	Speculation SpeculationStats
 }
 
 // solveSecondsBuckets spans sub-millisecond heuristic solves up to the 2m
@@ -329,6 +342,7 @@ func (e *Engine) Snapshot() Snapshot {
 		SourceNegative:  e.met.sourceNegative.Load(),
 		Errors:          e.met.errorsTotal.Load(),
 		Shed:            e.met.shedTotal.Load(),
+		WarmStarts:      e.met.warmStarts.Load(),
 		NodesTotal:      e.met.nodesTotal.Load(),
 		IncumbentsTotal: e.met.incumbentsTotal.Load(),
 		QueueSeconds:    e.met.queueSeconds.Load(),
@@ -352,6 +366,12 @@ func (e *Engine) Snapshot() Snapshot {
 		ts := snap.Tenants[name]
 		ts.Inflight, ts.Queued = g.Inflight, g.Queued
 		snap.Tenants[name] = ts
+	}
+	if e.spec != nil {
+		snap.Speculation = SpeculationStats{
+			Issued:  e.spec.issued.Load(),
+			Dropped: e.spec.dropped.Load(),
+		}
 	}
 	return snap
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"crsharing/internal/engine"
+	"crsharing/internal/gen"
 	"crsharing/internal/jobs"
 	"crsharing/internal/service"
 )
@@ -25,14 +26,27 @@ const (
 	ClassSolve = "solve"
 	ClassBatch = "batch"
 	ClassJobs  = "jobs"
+	// ClassOnline is the incremental-solving workload: instead of replaying
+	// corpus instances verbatim, each arrival is one seeded mutation (swap,
+	// drop, append, nudge — gen.Mutate) of the previous arrival's instance, so
+	// the stream is a chain of near-duplicates the way an online scheduler
+	// sees them. It exercises the warm-start path end to end: the exact
+	// fingerprint misses, the neighbor index adapts the predecessor's cached
+	// schedule into a hint, and the report accounts how many solves it seeded.
+	ClassOnline = "online"
 )
+
+// onlineChainLen is how many mutation steps an online chain walks before
+// restarting from a fresh corpus base instance.
+const onlineChainLen = 12
 
 // Mix is the weighted traffic composition of a load run. Weights are
 // relative; a zero weight disables the class.
 type Mix struct {
-	Solve int `json:"solve"`
-	Batch int `json:"batch"`
-	Jobs  int `json:"jobs"`
+	Solve  int `json:"solve"`
+	Batch  int `json:"batch"`
+	Jobs   int `json:"jobs"`
+	Online int `json:"online,omitempty"`
 }
 
 // DefaultMix leans on synchronous solves with a sprinkle of batch and async
@@ -62,8 +76,10 @@ func ParseMix(s string) (Mix, error) {
 			m.Batch = w
 		case ClassJobs:
 			m.Jobs = w
+		case ClassOnline:
+			m.Online = w
 		default:
-			return Mix{}, fmt.Errorf("harness: unknown mix class %q (want solve, batch or jobs)", k)
+			return Mix{}, fmt.Errorf("harness: unknown mix class %q (want solve, batch, jobs or online)", k)
 		}
 	}
 	if m.total() == 0 {
@@ -72,7 +88,7 @@ func ParseMix(s string) (Mix, error) {
 	return m, nil
 }
 
-func (m Mix) total() int { return m.Solve + m.Batch + m.Jobs }
+func (m Mix) total() int { return m.Solve + m.Batch + m.Jobs + m.Online }
 
 // TenantLoad is one tenant's slice of a multi-tenant load run: the tenant
 // name sent in the X-Tenant header, the admission weight to configure on an
@@ -141,7 +157,10 @@ func (m Mix) pick(rng *rand.Rand) string {
 	if n < m.Solve+m.Batch {
 		return ClassBatch
 	}
-	return ClassJobs
+	if n < m.Solve+m.Batch+m.Jobs {
+		return ClassJobs
+	}
+	return ClassOnline
 }
 
 // Config configures a Driver. Zero values of optional fields are replaced by
@@ -225,6 +244,9 @@ type TelemetryAgg struct {
 	Nodes int64 `json:"nodes"`
 	// Incumbents sums the incumbent improvements reported by the solves.
 	Incumbents int64 `json:"incumbents"`
+	// WarmStarts counts fresh solves that accepted a warm-start hint
+	// (telemetry warm_start non-empty); cache replays never count.
+	WarmStarts int `json:"warm_starts,omitempty"`
 	// Sources counts results per cache source ("solve", "cache",
 	// "coalesced").
 	Sources map[string]int `json:"sources,omitempty"`
@@ -241,6 +263,9 @@ func (a *TelemetryAgg) add(tel *engine.Telemetry, source string) {
 	if tel != nil {
 		a.Nodes += tel.Nodes
 		a.Incumbents += tel.Incumbents
+		if tel.WarmStart != "" {
+			a.WarmStarts++
+		}
 	}
 }
 
@@ -306,12 +331,15 @@ type Report struct {
 	Replayed bool `json:"replayed,omitempty"`
 	// Shards is the number of driver shards pooled into this report (0 or 1
 	// for a plain single-driver run).
-	Shards     int                    `json:"shards,omitempty"`
-	Requests   int                    `json:"requests"`
-	Shed       int                    `json:"shed"`
-	ServerShed int                    `json:"server_shed"`
-	Throughput float64                `json:"throughput_rps"`
-	Classes    map[string]*ClassStats `json:"classes"`
+	Shards     int     `json:"shards,omitempty"`
+	Requests   int     `json:"requests"`
+	Shed       int     `json:"shed"`
+	ServerShed int     `json:"server_shed"`
+	Throughput float64 `json:"throughput_rps"`
+	// WarmStarted sums the warm-started fresh solves across all classes — the
+	// headline number of the incremental-solving layer.
+	WarmStarted int                    `json:"warm_started"`
+	Classes     map[string]*ClassStats `json:"classes"`
 	// Tenants holds per-tenant accounting for multi-tenant runs (empty for
 	// anonymous runs). Shed above counts arrivals the driver itself dropped
 	// at its MaxInflight cap; ServerShed counts quota refusals by the server.
@@ -397,9 +425,10 @@ func NewDriver(cfg Config) (*Driver, error) {
 		tenantLatencies: make(map[string][]float64),
 		tenants:         make(map[string]*TenantStats),
 		classes: map[string]*ClassStats{
-			ClassSolve: {},
-			ClassBatch: {},
-			ClassJobs:  {},
+			ClassSolve:  {},
+			ClassBatch:  {},
+			ClassJobs:   {},
+			ClassOnline: {},
 		},
 	}
 	for _, tl := range cfg.Tenants {
@@ -510,6 +539,10 @@ func (d *Driver) liveArrivals(ctx context.Context, start time.Time, inflight cha
 			ticker := time.NewTicker(interval)
 			defer ticker.Stop()
 			next := ti * 7
+			// Online-class chain state: the current instance, how many
+			// mutation steps it is from its base, and the base's family.
+			var online Item
+			onlineStep := onlineChainLen // start a fresh chain on first draw
 			for {
 				select {
 				case <-ctx.Done():
@@ -521,12 +554,26 @@ func (d *Driver) liveArrivals(ctx context.Context, start time.Time, inflight cha
 					at := next
 					next++
 					var req []Item
-					if class == ClassBatch {
+					switch class {
+					case ClassBatch:
 						req = make([]Item, 0, d.cfg.BatchSize)
 						for i := 0; i < d.cfg.BatchSize; i++ {
 							req = append(req, items[(at+i)%len(items)])
 						}
-					} else {
+					case ClassOnline:
+						// The chain's first arrival replays the base itself
+						// (warming the cache); each later arrival is one
+						// mutation of its predecessor, so consecutive
+						// instances are fingerprint-distinct but shape-near.
+						if onlineStep >= onlineChainLen {
+							online = items[at%len(items)]
+							onlineStep = 0
+						} else {
+							online.Inst = gen.Mutate(rng, online.Inst, gen.Mutations[onlineStep%len(gen.Mutations)])
+							onlineStep++
+						}
+						req = []Item{online}
+					default:
 						req = []Item{items[at%len(items)]}
 					}
 					d.arrive(ctx, start, inflight, wg, class, tl.Name, req)
@@ -587,8 +634,8 @@ func (d *Driver) arrive(ctx context.Context, start time.Time, inflight chan stru
 		began := time.Now()
 		var outcome string
 		switch class {
-		case ClassSolve:
-			outcome = d.doSolve(rctx, tenant, req[0])
+		case ClassSolve, ClassOnline:
+			outcome = d.doSolve(rctx, class, tenant, req[0])
 		case ClassBatch:
 			outcome = d.doBatch(rctx, tenant, req)
 		case ClassJobs:
@@ -729,8 +776,10 @@ func outcomeOf(err error) string {
 }
 
 // doSolve fires one synchronous solve, revalidates the returned schedule and
-// returns the request outcome.
-func (d *Driver) doSolve(ctx context.Context, tenant string, item Item) string {
+// returns the request outcome. It serves both the solve class and the online
+// class (whose arrivals are mutation-chain instances): class only decides
+// which report bucket the outcome lands in.
+func (d *Driver) doSolve(ctx context.Context, class, tenant string, item Item) string {
 	var resp service.SolveResponse
 	err := d.post(ctx, tenant, "/v1/solve", service.SolveRequest{
 		Solver:          d.cfg.Solver,
@@ -739,21 +788,21 @@ func (d *Driver) doSolve(ctx context.Context, tenant string, item Item) string {
 		IncludeSchedule: true,
 	}, &resp)
 	if err != nil {
-		d.countError(ClassSolve, tenant, err)
+		d.countError(class, tenant, err)
 		return outcomeOf(err)
 	}
 	if resp.Source != "solve" {
 		d.mu.Lock()
-		d.classes[ClassSolve].CacheServed++
+		d.classes[class].CacheServed++
 		if ts := d.tenants[tenant]; ts != nil {
 			ts.CacheServed++
 		}
 		d.mu.Unlock()
 	}
-	d.countTelemetry(ClassSolve, tenant, resp.Telemetry, resp.Source)
-	label := fmt.Sprintf("solve %s/%s", item.Family, item.Inst.Fingerprint().Short())
+	d.countTelemetry(class, tenant, resp.Telemetry, resp.Source)
+	label := fmt.Sprintf("%s %s/%s", class, item.Family, item.Inst.Fingerprint().Short())
 	if err := d.oracle.CheckSchedule(label, item.Inst, resp.Schedule, resp.Makespan, resp.Wasted); err != nil {
-		d.countError(ClassSolve, tenant, err)
+		d.countError(class, tenant, err)
 		return OutcomeError
 	}
 	return OutcomeOK
@@ -961,6 +1010,7 @@ func (d *Driver) report(elapsed time.Duration, delta MetricsSnapshot) *Report {
 		c.Latency = summarizeLatency(d.latencies[class])
 		rep.Classes[class] = &c
 		rep.Requests += c.Requests
+		rep.WarmStarted += c.Telemetry.WarmStarts
 	}
 	if len(d.tenants) > 0 {
 		rep.Tenants = make(map[string]*TenantStats, len(d.tenants))

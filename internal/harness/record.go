@@ -43,7 +43,7 @@ type Entry struct {
 	Seq int `json:"seq"`
 	// OffsetNS is the arrival time relative to the run start, in nanoseconds.
 	OffsetNS int64 `json:"offset_ns"`
-	// Class is the request class (solve, batch or jobs).
+	// Class is the request class (solve, batch, jobs or online).
 	Class string `json:"class"`
 	// Tenant is the X-Tenant identity the request carried (empty = anonymous).
 	Tenant string `json:"tenant,omitempty"`
@@ -190,7 +190,7 @@ func (e *Entry) validate(wantSeq int) error {
 		return fmt.Errorf("negative arrival offset %d", e.OffsetNS)
 	}
 	switch e.Class {
-	case ClassSolve, ClassBatch, ClassJobs:
+	case ClassSolve, ClassBatch, ClassJobs, ClassOnline:
 	default:
 		return fmt.Errorf("unknown class %q", e.Class)
 	}

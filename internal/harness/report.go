@@ -179,7 +179,11 @@ func renderLatencyHistogram(h *stats.Histogram) string {
 
 // mergeTelemetry pools two per-class telemetry aggregates.
 func mergeTelemetry(a, b TelemetryAgg) TelemetryAgg {
-	out := TelemetryAgg{Nodes: a.Nodes + b.Nodes, Incumbents: a.Incumbents + b.Incumbents}
+	out := TelemetryAgg{
+		Nodes:      a.Nodes + b.Nodes,
+		Incumbents: a.Incumbents + b.Incumbents,
+		WarmStarts: a.WarmStarts + b.WarmStarts,
+	}
 	if len(a.Sources)+len(b.Sources) > 0 {
 		out.Sources = make(map[string]int, len(a.Sources)+len(b.Sources))
 		for s, n := range a.Sources {
@@ -280,6 +284,7 @@ func MergeReports(reports ...*Report) (*Report, error) {
 		out.Requests += r.Requests
 		out.Shed += r.Shed
 		out.ServerShed += r.ServerShed
+		out.WarmStarted += r.WarmStarted
 		out.Validated += r.Validated
 		out.ViolationCount += r.ViolationCount
 		for _, v := range r.Violations {
@@ -353,6 +358,9 @@ func (r *Report) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "crload: seed=%d rate=%g/s duration=%.2fs mix=solve:%d,batch:%d,jobs:%d",
 		r.Seed, r.RatePerSec, r.DurationSec, r.Mix.Solve, r.Mix.Batch, r.Mix.Jobs)
+	if r.Mix.Online > 0 {
+		fmt.Fprintf(&b, ",online:%d", r.Mix.Online)
+	}
 	if r.Replayed {
 		b.WriteString(" (replay)")
 	}
@@ -360,7 +368,8 @@ func (r *Report) Text() string {
 		fmt.Fprintf(&b, " shards=%d", r.Shards)
 	}
 	b.WriteByte('\n')
-	fmt.Fprintf(&b, "requests=%d shed=%d server-shed=%d throughput=%.1f req/s\n", r.Requests, r.Shed, r.ServerShed, r.Throughput)
+	fmt.Fprintf(&b, "requests=%d shed=%d server-shed=%d warm_started=%d throughput=%.1f req/s\n",
+		r.Requests, r.Shed, r.ServerShed, r.WarmStarted, r.Throughput)
 
 	classes := make([]string, 0, len(r.Classes))
 	for c := range r.Classes {
@@ -370,7 +379,7 @@ func (r *Report) Text() string {
 	for _, class := range classes {
 		cs := r.Classes[class]
 		fmt.Fprintf(&b, "\n[%s] requests=%d errors=%d shed=%d cancelled=%d", class, cs.Requests, cs.Errors, cs.Shed, cs.Cancelled)
-		if class == ClassSolve {
+		if class == ClassSolve || class == ClassOnline {
 			fmt.Fprintf(&b, " cache-served=%d", cs.CacheServed)
 		}
 		if class == ClassJobs {
@@ -383,7 +392,7 @@ func (r *Report) Text() string {
 				srcs = append(srcs, s)
 			}
 			sort.Strings(srcs)
-			fmt.Fprintf(&b, "  telemetry: nodes=%d incumbents=%d", tel.Nodes, tel.Incumbents)
+			fmt.Fprintf(&b, "  telemetry: nodes=%d incumbents=%d warm=%d", tel.Nodes, tel.Incumbents, tel.WarmStarts)
 			for _, s := range srcs {
 				fmt.Fprintf(&b, " %s=%d", s, tel.Sources[s])
 			}

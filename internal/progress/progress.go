@@ -14,6 +14,8 @@ package progress
 import (
 	"context"
 	"sync/atomic"
+
+	"crsharing/internal/core"
 )
 
 // Incumbent is one improving solution found during a solve: the solver that
@@ -51,6 +53,13 @@ type Counters struct {
 	// search hot path (scratch-arena growth, not every object): an
 	// allocation-free steady state reports zero. Heuristics leave it zero.
 	Allocs atomic.Int64
+	// WarmSeed records the makespan of an accepted warm-start hint: a kernel
+	// stores it when a hint attached with WithWarmStart validated against the
+	// instance and tightened its pruning bound. Makespans are at least 1, so
+	// a positive value doubles as the "a hint was used" flag. Parallel and
+	// portfolio solvers may validate the same hint more than once; the last
+	// store wins (all stores agree on the value).
+	WarmSeed atomic.Int64
 }
 
 // WithObserver returns a context carrying fn as the incumbent observer.
@@ -103,5 +112,49 @@ func Report(ctx context.Context, inc Incumbent) {
 	}
 	if fn, ok := ctx.Value(ctxKey{}).(Func); ok {
 		fn(inc)
+	}
+}
+
+type warmStartKey struct{}
+
+// WarmStart is an optional hint for an exact or anytime solve: a schedule
+// believed feasible for the instance about to be solved, typically adapted
+// from a neighboring solved instance. Kernels must treat it as untrusted —
+// validate it with core.Execute against their own instance, derive the
+// makespan themselves, and ignore it entirely when it is infeasible,
+// unfinished, or no better than their own seed. A hint may only tighten a
+// kernel's pruning bound; it must never change the returned optimum.
+type WarmStart struct {
+	// Schedule is the candidate schedule. The kernel must not mutate it:
+	// hints are shared across portfolio members and parallel workers.
+	Schedule *core.Schedule
+	// Source describes where the hint came from (for example "request" or
+	// "neighbor"), for telemetry only.
+	Source string
+}
+
+// WithWarmStart returns a context carrying hint for downstream kernels.
+// Unlike counters, warm-start hints are plain context values: solver
+// adapters that shadow the counter set still pass the hint through.
+// Attaching a nil hint or a hint with no schedule returns ctx unchanged.
+func WithWarmStart(ctx context.Context, hint *WarmStart) context.Context {
+	if hint == nil || hint.Schedule == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, warmStartKey{}, hint)
+}
+
+// WarmStartFrom returns the warm-start hint attached to ctx, or nil.
+func WarmStartFrom(ctx context.Context) *WarmStart {
+	h, _ := ctx.Value(warmStartKey{}).(*WarmStart)
+	return h
+}
+
+// SetWarmSeed records that a kernel accepted a warm-start hint with the given
+// makespan against the counters attached to ctx, if any. Non-positive
+// makespans are ignored (a makespan is at least 1 by construction).
+func SetWarmSeed(ctx context.Context, makespan int64) {
+	if c := CountersFrom(ctx); c != nil && makespan > 0 {
+		c.WarmSeed.Store(makespan)
 	}
 }

@@ -247,12 +247,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Hash once up front; the owner check below and the engine's cache route
+	// both reuse this fingerprint instead of re-hashing.
+	fp := req.Instance.Fingerprint()
+
 	// The router says another backend owns this fingerprint: on a local cache
 	// miss, fetch the result from the owner's warm cache instead of
 	// re-solving. Contains has no stat or LRU side effects, so a local hit
 	// still books exactly one cache hit when the engine serves it below.
 	if owner := r.Header.Get(OwnerHeader); owner != "" && !isFill {
-		if cache := s.eng.Cache(); cache != nil && !cache.Contains(name, req.Instance.Fingerprint()) {
+		if cache := s.eng.Cache(); cache != nil && !cache.Contains(name, fp) {
 			if s.forwardFill(w, r, owner, tenant, &req) {
 				return
 			}
@@ -260,10 +264,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	res, err := s.eng.Solve(r.Context(), engine.Request{
-		Solver:   name,
-		Instance: req.Instance,
-		Timeout:  timeout,
-		Tenant:   tenant,
+		Solver:      name,
+		Instance:    req.Instance,
+		Fingerprint: &fp,
+		Timeout:     timeout,
+		Tenant:      tenant,
+		WarmStart:   req.WarmStart,
 	})
 	if err != nil {
 		var shed *engine.ErrShed

@@ -60,6 +60,10 @@ type CacheStats struct {
 type Cache struct {
 	shards []cacheShard
 
+	// neighbors is the coarse shape-key index over solved instances that
+	// turns misses into warm-start hints; see neighbor.go.
+	neighbors *neighborIndex
+
 	// negTTL is the negative-cache lifetime in nanoseconds; 0 disables
 	// negative caching (the default).
 	negTTL atomic.Int64
@@ -119,7 +123,7 @@ func NewCache(shards, capacity int) *Cache {
 	if capacity < shards {
 		capacity = shards
 	}
-	c := &Cache{shards: make([]cacheShard, shards)}
+	c := &Cache{shards: make([]cacheShard, shards), neighbors: newNeighborIndex()}
 	per := (capacity + shards - 1) / shards
 	for i := range c.shards {
 		c.shards[i] = cacheShard{
@@ -250,6 +254,11 @@ func (c *Cache) EvaluateWithFingerprint(ctx context.Context, s Solver, inst *cor
 			sh.storeNegativeLocked(key, fl.err, time.Now().Add(ttl))
 		}
 		sh.mu.Unlock()
+		if fl.err == nil {
+			// File the fresh solve in the neighbor index (its own lock) so
+			// near-duplicate future misses can warm-start from it.
+			c.rememberNeighbor(key.Solver, fl.inst, fl.ev)
+		}
 		close(fl.done)
 		return fl.ev, SourceSolve, fl.err
 	}

@@ -1,0 +1,345 @@
+package solver
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"crsharing/internal/core"
+	"crsharing/internal/numeric"
+)
+
+// The neighbor index sits beside the exact fingerprint map: where the memo
+// cache answers "have I solved exactly this instance", the index answers
+// "have I solved something close". Closeness is a coarse shape key — the
+// requirement multiset bucketed into shapeReqBuckets classes, pooled across
+// processors — so the near-duplicate traffic the online workload produces
+// (drop a job, append a job, nudge a requirement, reorder a queue) lands on
+// the same or an adjacent key as its base instance. A hit is never served as
+// a result; its schedule is adapted (AdaptSchedule) into a warm-start hint
+// that only tightens the kernel's pruning bound, so the index can be as
+// approximate as it likes without ever affecting correctness.
+
+const (
+	// shapeReqBuckets buckets job requirements by floor(req*8): req ∈ [0,1]
+	// maps to buckets 0..8. Wide enough that a small requirement nudge
+	// usually stays put, narrow enough that unrelated instances spread out.
+	shapeReqBuckets = 9
+	// neighborRingSize is how many recent entries each shape key remembers.
+	neighborRingSize = 4
+	// neighborMaxKeys bounds the number of shape keys the index holds; the
+	// oldest key is dropped whole when the cap is reached.
+	neighborMaxKeys = 1024
+)
+
+// shape is the coarse description of an instance the index keys on.
+type shape struct {
+	procs int
+	jobs  [shapeReqBuckets]int32 // job count per requirement bucket
+}
+
+func shapeOf(inst *core.Instance) shape {
+	s := shape{procs: inst.NumProcessors()}
+	for i := 0; i < inst.NumProcessors(); i++ {
+		for j := 0; j < inst.NumJobs(i); j++ {
+			b := int(inst.Job(i, j).Req * (shapeReqBuckets - 1))
+			if b < 0 {
+				b = 0
+			}
+			if b >= shapeReqBuckets {
+				b = shapeReqBuckets - 1
+			}
+			s.jobs[b]++
+		}
+	}
+	return s
+}
+
+// key hashes the shape together with the solver name (hints are only valid
+// for the solver whose cache they came from — a heuristic's schedule is a
+// fine bound for an exact solver, but keeping the keyspace per-solver
+// matches the memo cache's layout and its hit accounting).
+func (s shape) key(solverName string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(solverName))
+	var buf [4 + 4*shapeReqBuckets]byte
+	buf[0] = byte(s.procs)
+	buf[1] = byte(s.procs >> 8)
+	buf[2] = byte(s.procs >> 16)
+	buf[3] = byte(s.procs >> 24)
+	for b, n := range s.jobs {
+		buf[4+4*b] = byte(n)
+		buf[5+4*b] = byte(n >> 8)
+		buf[6+4*b] = byte(n >> 16)
+		buf[7+4*b] = byte(n >> 24)
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// probeKeys returns the shape keys a lookup should try: the exact key first,
+// then every single-job perturbation (one bucket ±1), which is where an
+// added, dropped, or cross-bucket-nudged job lands.
+func (s shape) probeKeys(solverName string) []uint64 {
+	keys := make([]uint64, 0, 1+2*shapeReqBuckets)
+	keys = append(keys, s.key(solverName))
+	for b := 0; b < shapeReqBuckets; b++ {
+		v := s.jobs[b]
+		s.jobs[b] = v + 1
+		keys = append(keys, s.key(solverName))
+		if v > 0 {
+			s.jobs[b] = v - 1
+			keys = append(keys, s.key(solverName))
+		}
+		s.jobs[b] = v
+	}
+	return keys
+}
+
+// neighborEntry pairs a solved instance with its evaluation. Both are the
+// cache's immutable shared values; the index holds its own references, so an
+// LRU eviction from the exact map does not invalidate a neighbor hit.
+type neighborEntry struct {
+	inst *core.Instance
+	ev   *Evaluation
+}
+
+type neighborRing struct {
+	entries [neighborRingSize]*neighborEntry
+	next    int
+}
+
+// neighborIndex maps shape keys to rings of recent entries. It has one
+// mutex of its own rather than reusing the cache shards': shape-key sharding
+// and fingerprint sharding do not line up, and the index is touched once per
+// fresh solve (insert) and once per miss (lookup), never on the hit path.
+type neighborIndex struct {
+	mu    sync.Mutex
+	rings map[uint64]*neighborRing
+	fifo  []uint64 // insertion order of keys, for whole-key eviction
+}
+
+func newNeighborIndex() *neighborIndex {
+	return &neighborIndex{rings: make(map[uint64]*neighborRing)}
+}
+
+func (n *neighborIndex) add(key uint64, inst *core.Instance, ev *Evaluation) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ring, ok := n.rings[key]
+	if !ok {
+		for len(n.fifo) >= neighborMaxKeys {
+			delete(n.rings, n.fifo[0])
+			n.fifo = n.fifo[1:]
+		}
+		ring = &neighborRing{}
+		n.rings[key] = ring
+		n.fifo = append(n.fifo, key)
+	}
+	ring.entries[ring.next] = &neighborEntry{inst: inst, ev: ev}
+	ring.next = (ring.next + 1) % neighborRingSize
+}
+
+// lookup returns the key's entries newest-first.
+func (n *neighborIndex) lookup(key uint64) []*neighborEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ring, ok := n.rings[key]
+	if !ok {
+		return nil
+	}
+	out := make([]*neighborEntry, 0, neighborRingSize)
+	for k := 0; k < neighborRingSize; k++ {
+		e := ring.entries[(ring.next-1-k+2*neighborRingSize)%neighborRingSize]
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// rememberNeighbor files a freshly solved evaluation under its shape key.
+func (c *Cache) rememberNeighbor(solverName string, inst *core.Instance, ev *Evaluation) {
+	if ev == nil || ev.Schedule == nil {
+		return
+	}
+	c.neighbors.add(shapeOf(inst).key(solverName), inst, ev)
+}
+
+// warmHintMaxAdapts bounds the adaptation attempts per lookup: each attempt
+// executes a schedule against the instance, so the miss path stays cheap even
+// when many neighbors share a shape key.
+const warmHintMaxAdapts = 8
+
+// WarmHint searches the neighbor index for a solved instance close to inst
+// and adapts its schedule into a feasible warm-start hint. It is meant for
+// the miss path: the caller already knows the exact cache has no entry. All
+// candidate neighbors (bounded) are adapted and the shortest result wins —
+// the hint is only useful when it beats the kernel's own greedy seed, so the
+// extra executions buy acceptance rate. The returned schedule is freshly
+// built and owned by the caller; ok is false when no neighbor's schedule
+// could be adapted.
+func (c *Cache) WarmHint(solverName string, inst *core.Instance) (*core.Schedule, bool) {
+	seen := make(map[uint64]bool, 1+2*shapeReqBuckets)
+	var best *core.Schedule
+	attempts := 0
+	for _, key := range shapeOf(inst).probeKeys(solverName) {
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		for _, e := range c.neighbors.lookup(key) {
+			if attempts >= warmHintMaxAdapts {
+				return best, best != nil
+			}
+			attempts++
+			if adapted, ok := AdaptSchedule(inst, e.ev.Schedule); ok {
+				if best == nil || adapted.Steps() < best.Steps() {
+					best = adapted
+				}
+			}
+		}
+	}
+	return best, best != nil
+}
+
+// AdaptSchedule fits a schedule solved for a neighboring instance onto inst.
+// Two cases fall out of a single execution of the schedule against inst:
+//
+//   - The schedule already finishes every job (a job was dropped or finished,
+//     a requirement was nudged down, queues were reordered compatibly): the
+//     surplus shares become waste and the schedule is returned trimmed to its
+//     achieved makespan.
+//   - The schedule runs out of steps with work left (a job was added, a
+//     requirement was nudged up): the execution's final state says exactly
+//     which job each processor is on and how much work it has left, and a
+//     greedy completion is appended — full-requirement shares, processors
+//     with the longest remaining tail first.
+//
+// The adapted schedule is re-executed before it is returned, so ok == true
+// guarantees a feasible, finishing schedule; the caller (a kernel accepting
+// a warm start) still derives the makespan itself. The input schedule is
+// never mutated.
+func AdaptSchedule(inst *core.Instance, sched *core.Schedule) (*core.Schedule, bool) {
+	if inst == nil || sched == nil {
+		return nil, false
+	}
+	res, err := core.Execute(inst, sched)
+	if err != nil {
+		return nil, false
+	}
+	m := inst.NumProcessors()
+	if res.Finished() {
+		out := core.NewSchedule(res.Makespan(), m)
+		for t := 0; t < res.Makespan(); t++ {
+			for i := 0; i < m; i++ {
+				out.Alloc[t][i] = sched.Share(t, i)
+			}
+		}
+		return out, true
+	}
+	out := extendSchedule(inst, sched, res)
+	if out == nil {
+		return nil, false
+	}
+	if check, err := core.Execute(inst, out); err != nil || !check.Finished() {
+		return nil, false
+	}
+	return out, true
+}
+
+// extendSchedule appends a greedy completion for the work sched leaves
+// unfinished on inst. The extension gives each processor its active job's
+// full requirement whenever it fits in the step (so each served step
+// completes one full-speed step of that job), serving processors with more
+// remaining steps first. The per-processor step counts are derived from the
+// execution's final snapshot; zero-requirement jobs (whose partial progress
+// the snapshot cannot express) are conservatively restarted, which at worst
+// pads the tail — the caller re-executes the result, so the true makespan is
+// always re-derived. Returns nil when the completion fails to converge.
+func extendSchedule(inst *core.Instance, sched *core.Schedule, res *core.Result) *core.Schedule {
+	m := inst.NumProcessors()
+	T := sched.Steps()
+
+	job := make([]int, m)       // current job index per processor
+	stepsLeft := make([]int, m) // full-requirement steps to finish it
+	budget := 0
+	for i := 0; i < m; i++ {
+		job[i] = res.JobsDone(T, i)
+		if job[i] >= inst.NumJobs(i) {
+			continue
+		}
+		j := inst.Job(i, job[i])
+		if j.Req <= numeric.Eps {
+			stepsLeft[i] = j.Steps()
+		} else {
+			stepsLeft[i] = int(math.Ceil(res.RemainingWork(T, i)/j.Req - numeric.Eps))
+			if stepsLeft[i] < 1 {
+				stepsLeft[i] = 1
+			}
+		}
+		budget += stepsLeft[i]
+		for k := job[i] + 1; k < inst.NumJobs(i); k++ {
+			budget += inst.Job(i, k).Steps()
+		}
+	}
+
+	out := core.NewSchedule(T, m)
+	for t := 0; t < T; t++ {
+		for i := 0; i < m; i++ {
+			out.Alloc[t][i] = sched.Share(t, i)
+		}
+	}
+
+	remSteps := func(i int) int {
+		if job[i] >= inst.NumJobs(i) {
+			return 0
+		}
+		n := stepsLeft[i]
+		for k := job[i] + 1; k < inst.NumJobs(i); k++ {
+			n += inst.Job(i, k).Steps()
+		}
+		return n
+	}
+	order := make([]int, m)
+	shares := make([]float64, m)
+	for step := 0; step <= budget+m; step++ {
+		active := 0
+		for i := 0; i < m; i++ {
+			if job[i] < inst.NumJobs(i) {
+				order[active] = i
+				active++
+			}
+		}
+		if active == 0 {
+			return out
+		}
+		ord := order[:active]
+		sort.SliceStable(ord, func(a, b int) bool { return remSteps(ord[a]) > remSteps(ord[b]) })
+		for i := range shares {
+			shares[i] = 0
+		}
+		used := 0.0
+		for _, i := range ord {
+			req := inst.Job(i, job[i]).Req
+			served := false
+			if req <= numeric.Eps || numeric.Leq(used+req, 1) {
+				shares[i] = req
+				used += req
+				served = true
+			}
+			if served {
+				stepsLeft[i]--
+				if stepsLeft[i] <= 0 {
+					job[i]++
+					if job[i] < inst.NumJobs(i) {
+						stepsLeft[i] = inst.Job(i, job[i]).Steps()
+					}
+				}
+			}
+		}
+		out.AppendStep(shares)
+	}
+	return nil // did not converge within the step budget
+}

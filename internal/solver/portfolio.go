@@ -136,6 +136,12 @@ func (p *Portfolio) Solve(ctx context.Context, inst *core.Instance) (*core.Sched
 		stats.Nodes += r.stats.Nodes
 		stats.Incumbents += r.stats.Incumbents
 		stats.KernelAllocs += r.stats.KernelAllocs
+		if r.stats.WarmStart && !stats.WarmStart {
+			// Any member accepting the shared hint marks the whole race warm;
+			// every acceptor derived the same makespan from the same schedule.
+			stats.WarmStart = true
+			stats.SeedMakespan = r.stats.SeedMakespan
+		}
 		if r.err != nil {
 			continue
 		}

@@ -45,6 +45,13 @@ type Stats struct {
 	// through internal/progress); steady-state exact solves report zero or
 	// near-zero. Together with Nodes it yields allocs-per-node telemetry.
 	KernelAllocs int64
+	// WarmStart reports that a kernel accepted a warm-start hint attached to
+	// the solve context (see progress.WithWarmStart) and used it to tighten
+	// its pruning bound or seed its incumbent.
+	WarmStart bool
+	// SeedMakespan is the validated makespan of the accepted warm-start hint;
+	// zero when no hint was used.
+	SeedMakespan int
 	// Candidates records the per-member outcomes of a portfolio run; it is
 	// empty for plain solvers.
 	Candidates []Candidate
@@ -128,6 +135,10 @@ func (a *adapted) Solve(ctx context.Context, inst *core.Instance) (*core.Schedul
 		Nodes:        ctr.Nodes.Load(),
 		Incumbents:   ctr.Incumbents.Load(),
 		KernelAllocs: ctr.Allocs.Load(),
+	}
+	if seed := ctr.WarmSeed.Load(); seed > 0 {
+		st.WarmStart = true
+		st.SeedMakespan = int(seed)
 	}
 	if err != nil {
 		return nil, st, fmt.Errorf("%s: %w", a.s.Name(), err)
